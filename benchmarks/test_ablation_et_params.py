@@ -1,0 +1,63 @@
+"""Ablation: ET's fixed constants — the 2% inactive floor and ETC's 90%
+exit fraction (§IV-B sets both without justification; this sweeps them).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core import LouvainConfig, Variant, run_louvain
+
+from _cache import graph, machine
+
+
+def collect():
+    g = graph("channel")
+    mach = machine("channel")
+    floor_rows = []
+    for floor in (0.0, 0.02, 0.10, 0.30):
+        cfg = LouvainConfig(
+            variant=Variant.ET, alpha=0.75, et_inactive_floor=floor
+        )
+        r = run_louvain(g, 4, cfg, machine=mach)
+        floor_rows.append(
+            [floor, round(r.modularity, 4), r.elapsed, r.total_iterations]
+        )
+    exit_rows = []
+    for frac in (0.5, 0.9, 1.0):
+        cfg = LouvainConfig(
+            variant=Variant.ETC, alpha=0.75, etc_exit_fraction=frac
+        )
+        r = run_louvain(g, 4, cfg, machine=mach)
+        exit_rows.append(
+            [frac, round(r.modularity, 4), r.elapsed, r.total_iterations]
+        )
+    return floor_rows, exit_rows
+
+
+def test_ablation_et_params(benchmark, record_result):
+    floor_rows, exit_rows = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = "\n\n".join(
+        [
+            format_table(
+                ["inactive floor", "Q", "time (s)", "iterations"],
+                floor_rows,
+                title="Ablation — ET inactive floor (alpha=0.75, channel)",
+            ),
+            format_table(
+                ["exit fraction", "Q", "time (s)", "iterations"],
+                exit_rows,
+                title="Ablation — ETC exit fraction (alpha=0.75, channel)",
+            ),
+        ]
+    )
+    record_result("ablation_et_params", text)
+
+    # Quality stays within a few percent across the whole sweep — the
+    # paper's constants are not finely tuned.
+    all_q = [r[1] for r in floor_rows + exit_rows]
+    assert max(all_q) - min(all_q) < 0.08
+    # A lazier exit (0.5) never costs more time than a stricter one (1.0).
+    by_frac = {r[0]: r for r in exit_rows}
+    assert by_frac[0.5][2] <= by_frac[1.0][2] * 1.3

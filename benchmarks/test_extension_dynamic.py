@@ -1,0 +1,72 @@
+"""Extension bench: dynamic re-detection vs from-scratch (per [14]).
+
+Not a paper table — the paper cites Grappolo's dynamic capability [14]
+as context.  This bench quantifies the warm-start advantage on the
+distributed implementation: after a small churn batch, incremental
+re-detection should match scratch quality in a fraction of the
+iterations/time.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core import run_louvain
+from repro.core.dynamic import EdgeChurn, apply_churn, incremental_louvain
+
+from _cache import graph, machine
+
+
+def collect():
+    rows = []
+    for name in ("channel", "com-orkut"):
+        g = graph(name)
+        mach = machine(name)
+        base = run_louvain(g, 4, machine=mach)
+        for frac in (0.01, 0.05):
+            churn = EdgeChurn.random(g, frac, frac, seed=42)
+            g2 = apply_churn(g, churn)
+            inc = incremental_louvain(
+                g2, base.assignment, nranks=4, machine=mach,
+                reset_touched=churn.touched_vertices(),
+            )
+            scratch = run_louvain(g2, 4, machine=mach)
+            rows.append(
+                [
+                    name,
+                    f"{frac:.0%}",
+                    round(inc.modularity, 4),
+                    round(scratch.modularity, 4),
+                    inc.total_iterations,
+                    scratch.total_iterations,
+                    inc.elapsed,
+                    scratch.elapsed,
+                ]
+            )
+    return rows
+
+
+def test_extension_dynamic(benchmark, record_result):
+    rows = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    record_result(
+        "extension_dynamic",
+        format_table(
+            [
+                "Graph",
+                "churn",
+                "Q (inc)",
+                "Q (scratch)",
+                "iters (inc)",
+                "iters (scratch)",
+                "time inc (s)",
+                "time scratch (s)",
+            ],
+            rows,
+            title="Extension — incremental re-detection after churn",
+        ),
+    )
+    for _, _, q_inc, q_scr, it_inc, it_scr, t_inc, t_scr in rows:
+        assert q_inc >= q_scr - 0.03
+        assert it_inc < it_scr
+        assert t_inc < t_scr

@@ -1,0 +1,61 @@
+"""Fig. 3 over the paper's *actual* process range, via extrapolation.
+
+The simulated runs cover 1-8 ranks; the paper's x-axis is 16-4096.
+This bench calibrates the closed-form scaling model from two simulated
+runs per input and prints the predicted execution-time curve over the
+paper's range, asserting its structural properties: the curve falls in
+the scaling regime, and its minimum ("end point in scaling", §V-A)
+lands between 64 and 8192 processes for every input — the paper sees
+moderate/large inputs stop scaling at 1K-2K.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_plot, format_series
+from repro.bench.extrapolate import calibrate
+
+from _cache import graph, machine
+
+PAPER_RANGE = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+INPUTS = ("channel", "nlpkkt240", "soc-friendster", "uk-2007")
+
+
+def collect():
+    out = {}
+    for name in INPUTS:
+        model = calibrate(graph(name), machine=machine(name))
+        out[name] = (model.predict_curve(PAPER_RANGE),
+                     model.sweet_spot(1 << 14))
+    return out
+
+
+def test_fig3_extrapolated(benchmark, record_result):
+    results = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    blocks = []
+    for name, (curve, sweet) in results.items():
+        blocks.append(format_series(f"{name} (predicted)", curve, "model s"))
+        blocks.append(f"  {name}: predicted scaling end point ~p={sweet}")
+    blocks.append(
+        ascii_plot(
+            {name: curve for name, (curve, _) in results.items()},
+            logx=True,
+            logy=True,
+            xlabel="processes (paper range)",
+            ylabel="predicted model seconds",
+            title="Fig. 3 extrapolated to 16-4096 processes",
+        )
+    )
+    record_result(
+        "fig3_extrapolated",
+        "Fig. 3 over the paper's 16-4096 process range "
+        "(calibrated extrapolation)\n" + "\n".join(blocks),
+    )
+
+    for name, (curve, sweet) in results.items():
+        times = dict(curve)
+        # Scaling regime exists: 16 -> 256 must speed up substantially.
+        assert times[256] < times[16] * 0.6, name
+        # The end point of scaling is finite and in the paper's band.
+        assert 64 <= sweet <= 8192, (name, sweet)

@@ -1,0 +1,85 @@
+"""Fig. 3: strong-scaling curves for all 12 graphs, all five variants.
+
+The paper plots execution time vs process count (16-4096 on Cori) for
+Baseline, Threshold Cycling, ET(0.25/0.75) and ETC(0.25/0.75).  The
+simulation maps that range to 1-8 ranks on scaled stand-ins; the
+structural claims under test are (a) time falls with p in the scaling
+regime, and (b) heuristic variants sit at or below Baseline for most
+inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_plot, format_series
+from repro.generators import TABLE2_NAMES
+
+from _cache import PROCESS_COUNTS, variant_sweep
+
+
+@pytest.mark.parametrize("name", TABLE2_NAMES)
+def test_fig3_strong_scaling(benchmark, record_result, name):
+    sweep = benchmark.pedantic(
+        variant_sweep,
+        args=(name, tuple(PROCESS_COUNTS)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    blocks = [
+        format_series(label, sweep.elapsed_series(label), unit="model s")
+        for label in sweep.labels()
+    ]
+    chart = ascii_plot(
+        {label: sweep.elapsed_series(label) for label in sweep.labels()},
+        logx=True,
+        logy=True,
+        xlabel="processes",
+        ylabel="model seconds",
+        title=f"{name}: execution time vs processes",
+    )
+    record_result(
+        f"fig3_{name}",
+        f"Fig. 3 — strong scaling, input: {name}\n"
+        + "\n".join(blocks) + "\n\n" + chart,
+    )
+
+    # Baseline must gain from parallelism somewhere in the range.
+    base = dict(sweep.elapsed_series("Baseline"))
+    assert min(base.values()) < base[1]
+
+    # Quality never collapses for any variant/process count.
+    lo, hi = sweep.modularity_spread()
+    assert lo > 0.25
+
+
+def test_fig3_heuristics_beat_baseline_overall(benchmark, record_result):
+    """Across the roster, the best heuristic beats Baseline's best."""
+
+    def collect():
+        out = {}
+        for name in TABLE2_NAMES:
+            sweep = variant_sweep(name, tuple(PROCESS_COUNTS))
+            base_best = min(t for _, t in sweep.elapsed_series("Baseline"))
+            heur_best = min(
+                t
+                for label in sweep.labels()
+                if label != "Baseline"
+                for _, t in sweep.elapsed_series(label)
+            )
+            out[name] = (base_best, heur_best)
+        return out
+
+    results = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = [
+        f"{name}: baseline {b:.3e}s best-heuristic {h:.3e}s"
+        for name, (b, h) in results.items()
+    ]
+    record_result(
+        "fig3_summary", "Fig. 3 summary (best times)\n" + "\n".join(rows)
+    )
+    wins = sum(1 for b, h in results.values() if h <= b)
+    assert wins >= len(TABLE2_NAMES) * 2 // 3

@@ -1,0 +1,82 @@
+"""Fig. 5: convergence characteristics of nlpkkt240 (ET/ETC variants).
+
+Paper (5a/5b, 64 processes): ET(0.25) converges in fewer phases than
+ET(0.75) on this input; ET(0.75) runs more phases/iterations yet is
+still faster than Baseline because each iteration processes fewer
+active vertices; ETC's 90%-inactive exit makes ETC(0.25) and ETC(0.75)
+behave almost identically.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_plot, format_series
+
+from _cache import single_run
+
+GRAPH = "nlpkkt240"
+RANKS = 8
+VARIANTS = [
+    ("baseline", 0.25, "Baseline"),
+    ("et", 0.25, "ET(0.25)"),
+    ("et", 0.75, "ET(0.75)"),
+    ("etc", 0.25, "ETC(0.25)"),
+    ("etc", 0.75, "ETC(0.75)"),
+]
+
+
+def collect():
+    return {
+        label: single_run(GRAPH, RANKS, variant, alpha)
+        for variant, alpha, label in VARIANTS
+    }
+
+
+def test_fig5_convergence_nlpkkt(benchmark, record_result):
+    results = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    blocks = []
+    for label, r in results.items():
+        blocks.append(
+            format_series(
+                f"{label} modularity-vs-iteration",
+                r.modularity_by_iteration(),
+            )
+        )
+        blocks.append(
+            format_series(
+                f"{label} iterations-per-phase", r.iterations_per_phase()
+            )
+        )
+        blocks.append(
+            f"  {label}: time={r.elapsed:.4f}s phases={r.num_phases} "
+            f"iterations={r.total_iterations} Q={r.modularity:.4f}"
+        )
+    chart = ascii_plot(
+        {
+            label: [(i, q) for i, q in r.modularity_by_iteration()]
+            for label, r in results.items()
+        },
+        xlabel="iteration",
+        ylabel="modularity",
+        title=f"{GRAPH}: modularity growth",
+    )
+    blocks.append(chart)
+    record_result(
+        f"fig5_{GRAPH}",
+        f"Fig. 5 — convergence, {GRAPH}, {RANKS} ranks\n" + "\n".join(blocks),
+    )
+
+    base = results["Baseline"]
+    et25, et75 = results["ET(0.25)"], results["ET(0.75)"]
+    etc25, etc75 = results["ETC(0.25)"], results["ETC(0.75)"]
+
+    # Quality holds for the mild variants (Fig. 5a plateaus together).
+    assert et25.modularity > base.modularity - 0.05
+    # ET variants beat Baseline on this input (Table IV row: 8.68x best).
+    assert min(et25.elapsed, et75.elapsed, etc25.elapsed, etc75.elapsed) \
+        < base.elapsed
+    # ETC's exit keeps the two alphas close together (Fig. 5b text).
+    gap_etc = abs(etc25.total_iterations - etc75.total_iterations)
+    gap_et = abs(et25.total_iterations - et75.total_iterations)
+    assert gap_etc <= max(gap_et, 3)

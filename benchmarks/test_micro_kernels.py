@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the simulator's hot kernels (wall time).
+
+Unlike the paper-reproduction benches (which report *modelled* time),
+these track the real wall-clock cost of the library's inner kernels so
+performance regressions of the simulator itself are visible:
+
+* the vectorised move-selection sweep;
+* serial graph coarsening;
+* CSR construction from edge lists;
+* one full communicator round trip (alltoall) across ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import coarsen_csr
+from repro.core.sweep import propose_moves
+from repro.generators import generate_lfr
+from repro.graph import CSRGraph, EdgeList
+from repro.runtime import FREE, run_spmd
+
+
+def _graph():
+    return generate_lfr(3000, avg_degree=16, seed=1).edges
+
+
+def test_kernel_propose_moves(benchmark):
+    g = _graph().to_csr()
+    n = g.num_vertices
+    k = g.degrees()
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.index))
+    comm = np.arange(n, dtype=np.int64)
+    tot = k.copy()
+    size = np.ones(n, dtype=np.int64)
+
+    result = benchmark(
+        propose_moves,
+        index=g.index,
+        target_comm=comm[g.edges],
+        weights=g.weights,
+        self_mask=g.edges == rows,
+        degrees=k,
+        cur_comm=comm,
+        total_weight=g.total_weight,
+        tot_lookup=lambda ids: tot[ids],
+        size_lookup=lambda ids: size[ids],
+    )
+    assert result.num_moves > 0
+
+
+def test_kernel_coarsen(benchmark):
+    g = _graph().to_csr()
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, 100, g.num_vertices)
+
+    meta, _ = benchmark(coarsen_csr, g, assignment)
+    assert meta.num_vertices == 100
+
+
+def test_kernel_csr_construction(benchmark):
+    el = _graph()
+
+    g = benchmark(
+        CSRGraph.from_edges, el.num_vertices, el.u, el.v, el.w
+    )
+    assert g.num_vertices == el.num_vertices
+
+
+def test_kernel_edgelist_dedup(benchmark):
+    rng = np.random.default_rng(2)
+    n, m = 2000, 40_000
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+
+    el = benchmark(EdgeList.from_arrays, n, u, v)
+    assert el.num_edges > 0
+
+
+def test_kernel_alltoall_roundtrip(benchmark):
+    payloads = [np.arange(500, dtype=np.int64)] * 4
+
+    def roundtrip():
+        def prog(comm):
+            got = comm.alltoall(list(payloads[: comm.size]))
+            return len(got)
+
+        return run_spmd(4, prog, machine=FREE, timeout=10.0)
+
+    r = benchmark.pedantic(roundtrip, rounds=3, iterations=1,
+                           warmup_rounds=1)
+    assert r.values == [4] * 4

@@ -1,0 +1,58 @@
+"""Table I: ET alpha sweep on CNR and Channel (shared-memory, 8 cores).
+
+Paper's finding: modularity is essentially flat across alpha while
+runtime and iteration counts fall as alpha -> 1; the win is ~2x on CNR
+(small-world) but ~58x on Channel (banded) — structure determines how
+much activity ET can cut.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.core import LouvainConfig, Variant, grappolo_louvain
+from repro.generators import make_graph
+
+ALPHAS = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0]
+
+
+def run_alpha(g, alpha: float):
+    cfg = (
+        LouvainConfig(variant=Variant.ET, alpha=alpha)
+        if alpha > 0.0
+        else LouvainConfig()  # alpha=0 is the baseline scheme
+    )
+    # Table I ran on 8 cores of a Xeon.
+    return grappolo_louvain(g, cfg, threads=8)
+
+
+@pytest.mark.parametrize("name", ["cnr", "channel"])
+def test_table1_alpha_sweep(benchmark, record_result, name):
+    g = make_graph(name, scale="tiny")
+    rows = []
+    for alpha in ALPHAS:
+        r = run_alpha(g, alpha)
+        rows.append(
+            [alpha, round(r.modularity, 5), r.elapsed, r.total_iterations]
+        )
+    record_result(
+        f"table1_{name}",
+        format_table(
+            ["alpha", "Modularity", "Model time (s)", "No. iterations"],
+            rows,
+            title=f"Table I — ET alpha sweep, input: {name} "
+                  f"(shared memory, 8 threads)",
+        ),
+    )
+
+    # Paper shape: runtime falls as alpha -> 1 while quality stays flat.
+    # (Iteration counts are not strictly monotone in Table I either —
+    # aggressive ET can add phases while shrinking per-phase work.)
+    by_alpha = {row[0]: row for row in rows}
+    assert by_alpha[1.0][2] <= by_alpha[0.0][2]
+    assert abs(by_alpha[1.0][1] - by_alpha[0.0][1]) < 0.05
+
+    benchmark.pedantic(
+        run_alpha, args=(g, 0.5), rounds=2, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""End-to-end pipeline: binary edge-list file -> distributed ingest ->
+community detection -> output.
+
+Mirrors the paper's production flow (§V): graphs are converted to a
+binary edge-list format once, then every run ingests the file in
+parallel (each rank reads an equal slice of records, MPI-IO style) and
+routes edges to their owners.  This example writes such a file, runs
+the full SPMD pipeline on it, and verifies the paper's claim that I/O
+stays a tiny fraction of the execution time.
+
+Run:  python examples/binary_file_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import LouvainConfig, distributed_louvain
+from repro.generators import generate_webgraph
+from repro.graph import DistGraph, read_header, write_edgelist
+from repro.runtime import run_spmd
+
+RANKS = 6
+
+workdir = Path(tempfile.mkdtemp(prefix="dlouvain-"))
+path = workdir / "webcrawl.bin"
+
+print("1. generating a web-crawl-like graph and writing the binary file")
+crawl = generate_webgraph(4000, mean_host_size=30, inter_fraction=0.02,
+                          seed=7)
+nbytes = write_edgelist(path, crawl.edges)
+header = read_header(path)
+print(
+    f"   wrote {path} ({nbytes} bytes, {header.num_vertices} vertices, "
+    f"{header.num_edges} edges)"
+)
+
+
+def main(comm):
+    # Every rank reads its own slice of the file and participates in
+    # routing edges to their owners — no rank ever holds the full graph.
+    dg = DistGraph.load_binary(comm, str(path), partition="even_edge")
+    local_share = dg.num_local_entries
+    result = distributed_louvain(comm, dg, LouvainConfig())
+    return local_share, result
+
+
+print(f"2. running the SPMD pipeline on {RANKS} simulated ranks")
+spmd = run_spmd(RANKS, main)
+shares = [v[0] for v in spmd.values]
+result = spmd.values[0][1]
+
+print(f"   per-rank edge shares: {shares} (even-edge distribution)")
+print(f"   {result.summary()}")
+
+print("3. verifying the paper's I/O claim (ingest ~1-2% of runtime)")
+fractions = spmd.trace.fraction_by_category()
+io_share = fractions.get("io", 0.0)
+print(f"   modelled I/O share: {io_share:.1%}")
+print()
+print(spmd.trace.format())
+
+print()
+print(f"communities found: {result.num_communities} "
+      f"(planted hosts: {crawl.num_hosts})")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Dynamic community detection: track communities through graph churn.
+
+A social network evolves — friendships form and dissolve.  Re-running
+Louvain from scratch after every batch wastes the structure already
+found; the incremental mode warm-starts from the previous solution and
+only lets disturbed vertices reconsider (the dynamic capability of the
+Grappolo line of work, Halappanavar et al. [14]).
+
+This example simulates five churn batches and compares incremental
+re-detection against from-scratch runs: quality stays on par while the
+iteration count (and modelled time) drops sharply.
+
+Run:  python examples/dynamic_communities.py
+"""
+
+from repro import run_louvain
+from repro.bench import format_table
+from repro.core.dynamic import (
+    EdgeChurn,
+    apply_churn,
+    churn_statistics,
+    incremental_louvain,
+)
+from repro.generators import generate_lfr
+
+RANKS = 4
+BATCHES = 5
+CHURN = 0.02  # 2% of edges inserted and deleted per batch
+
+print("initial network: LFR, 1,500 people")
+network = generate_lfr(
+    1500, mu=0.12, avg_degree=14.0, min_community=25, max_community=60,
+    seed=11,
+)
+graph = network.edges.to_csr()
+
+result = run_louvain(graph, RANKS)
+print(f"initial detection: {result.summary()}")
+print()
+
+rows = []
+for batch in range(BATCHES):
+    churn = EdgeChurn.random(graph, CHURN, CHURN, seed=100 + batch)
+    stats = churn_statistics(churn, result.assignment)
+    graph = apply_churn(graph, churn)
+
+    incremental = incremental_louvain(
+        graph,
+        result.assignment,
+        nranks=RANKS,
+        reset_touched=churn.touched_vertices(),
+    )
+    scratch = run_louvain(graph, RANKS)
+
+    rows.append(
+        [
+            batch + 1,
+            f"{stats.touched_fraction:.1%}",
+            stats.intra_deleted,
+            stats.inter_inserted,
+            round(incremental.modularity, 4),
+            round(scratch.modularity, 4),
+            incremental.total_iterations,
+            scratch.total_iterations,
+            f"{incremental.elapsed / scratch.elapsed:.2f}x"
+            if scratch.elapsed
+            else "-",
+        ]
+    )
+    result = incremental  # carry the solution forward
+
+print(
+    format_table(
+        [
+            "batch",
+            "touched",
+            "intra del",
+            "inter ins",
+            "Q (incremental)",
+            "Q (scratch)",
+            "iters (inc)",
+            "iters (scratch)",
+            "time ratio",
+        ],
+        rows,
+        title=f"{BATCHES} churn batches of {CHURN:.0%} edges "
+              f"({RANKS} ranks)",
+    )
+)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Strong-scaling study: how the distributed Louvain algorithm scales.
+
+Reproduces the methodology behind the paper's Fig. 3 for one input:
+run Baseline and the best heuristics across process counts, print the
+modelled execution-time curves, speedups, and the time breakdown that
+explains where scaling stops (§V-A: the modularity allreduce and the
+community-info exchange grow with p while local compute shrinks).
+
+Run:  python examples/scaling_study.py [dataset]
+"""
+
+import sys
+
+from repro import LouvainConfig, Variant, run_louvain
+from repro.bench import format_table, speedup_table
+from repro.generators import dataset, make_graph
+from repro.runtime import CORI_HASWELL
+
+NAME = sys.argv[1] if len(sys.argv) > 1 else "web-cc12-PayLevelDomain"
+PROCESS_COUNTS = [1, 2, 4, 8, 16]
+
+spec = dataset(NAME)
+graph = make_graph(NAME, scale="small")
+# Scale the machine model so each synthetic edge represents the right
+# number of paper-input edges (keeps the compute/comm balance honest).
+machine = CORI_HASWELL.scaled(spec.edge_scale_factor(graph))
+print(
+    f"input: {NAME} stand-in ({graph.num_vertices} vertices, "
+    f"{graph.num_edges} edges; paper: {spec.paper_edges} edges)"
+)
+print(f"machine model: {machine.name}")
+
+configs = [
+    LouvainConfig(variant=Variant.BASELINE),
+    LouvainConfig(variant=Variant.ETC, alpha=0.25),
+    LouvainConfig(variant=Variant.ET_TC, alpha=0.25),
+]
+
+for config in configs:
+    curve = []
+    last = None
+    for p in PROCESS_COUNTS:
+        last = run_louvain(graph, p, config, machine=machine)
+        curve.append((p, last.elapsed))
+    rows = [
+        [p, f"{t:.4f}", f"{s:.2f}x"] for p, t, s in speedup_table(curve)
+    ]
+    print()
+    print(
+        format_table(
+            ["processes", "model time (s)", "speedup"],
+            rows,
+            title=f"{config.label()}  (final Q={last.modularity:.4f})",
+        )
+    )
+
+print()
+print("time breakdown at the largest process count (Baseline):")
+result = run_louvain(
+    graph, PROCESS_COUNTS[-1], configs[0], machine=machine
+)
+print(result.trace.format())
+
+# Extrapolate the Baseline curve over the paper's actual process range
+# (16-4096) with the calibrated closed-form model.
+from repro.bench import ascii_plot, calibrate
+
+model = calibrate(graph, machine=machine)
+paper_range = [16, 64, 256, 1024, 4096]
+curve = model.predict_curve(paper_range)
+print()
+print(
+    ascii_plot(
+        {"Baseline (predicted)": curve},
+        logx=True,
+        logy=True,
+        xlabel="processes (paper range)",
+        ylabel="model seconds",
+        title="extrapolated strong scaling "
+              f"(end point ~p={model.sweet_spot()})",
+    )
+)

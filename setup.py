@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` uses this to do
+a legacy editable install; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Benchmark harness utilities (sweeps, speedups, table formatting)."""
+
+from .ascii_plot import ascii_plot, sparkline
+from .extrapolate import RunObservables, ScalingModel, calibrate, observe_run
+from .harness import (
+    SweepResultSet,
+    run_variant_sweep,
+    speedup_table,
+    strong_scaling_curve,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "RunObservables",
+    "ascii_plot",
+    "sparkline",
+    "ScalingModel",
+    "SweepResultSet",
+    "calibrate",
+    "observe_run",
+    "format_series",
+    "format_table",
+    "run_variant_sweep",
+    "speedup_table",
+    "strong_scaling_curve",
+]

@@ -1,0 +1,119 @@
+"""ASCII line/scatter plots for terminal-rendered figures.
+
+No plotting library ships with this environment, so figure-style
+benchmark outputs (Figs. 3-6) render as ASCII charts: good enough to
+see curve shapes, crossovers and flattening points in the text logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Symbols assigned to successive series.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Points map to a ``width x height`` grid; each series gets a marker
+    from :data:`MARKERS`; overlapping points show the later series.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, pts in series.items():
+        if not pts:
+            raise ValueError(f"series {name!r} is empty")
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("logx requires positive x values")
+            return math.log10(x)
+        return x
+
+    def ty(y: float) -> float:
+        if logy:
+            if y <= 0:
+                raise ValueError("logy requires positive y values")
+            return math.log10(y)
+        return y
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[i % len(MARKERS)]
+        for x, y in pts:
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10**y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_lo_label = f"{10**y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_label
+        elif r == height - 1:
+            label = y_lo_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}}|" + "".join(row))
+    x_hi_label = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    x_lo_label = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    xline = (
+        " " * (margin + 1)
+        + x_lo_label
+        + " " * max(1, width - len(x_lo_label) - len(x_hi_label))
+        + x_hi_label
+    )
+    lines.append(xline)
+    if xlabel or ylabel:
+        lines.append(
+            " " * (margin + 1)
+            + (f"x: {xlabel}" if xlabel else "")
+            + ("   " if xlabel and ylabel else "")
+            + (f"y: {ylabel}" if ylabel else "")
+        )
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """One-line trend rendering with block characters."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Resample to the requested width.
+    step = max(1, len(values) // width)
+    sampled = list(values)[::step][:width]
+    return "".join(
+        blocks[min(8, int((v - lo) / span * 8))] for v in sampled
+    )

@@ -1,0 +1,114 @@
+"""Experiment harness: variant sweeps, process sweeps, speedup tables.
+
+Each benchmark in ``benchmarks/`` composes these helpers to regenerate
+one table or figure of the paper; the harness owns the mechanics
+(running configurations, collecting modelled times, computing speedups)
+so benches stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import LouvainConfig
+from ..core.distlouvain import run_louvain
+from ..core.result import LouvainResult
+from ..graph.csr import CSRGraph
+from ..runtime.perfmodel import CORI_HASWELL, MachineModel
+
+
+@dataclass
+class SweepResultSet:
+    """Results of a (variant x process-count) sweep on one input graph."""
+
+    graph_name: str
+    #: results[variant_label][nranks] -> LouvainResult
+    results: dict[str, dict[int, LouvainResult]] = field(default_factory=dict)
+
+    def add(self, label: str, nranks: int, result: LouvainResult) -> None:
+        self.results.setdefault(label, {})[nranks] = result
+
+    def labels(self) -> list[str]:
+        return list(self.results)
+
+    def process_counts(self, label: str) -> list[int]:
+        return sorted(self.results[label])
+
+    def elapsed_series(self, label: str) -> list[tuple[int, float]]:
+        """(nranks, modelled seconds) curve — one line of Fig. 3."""
+        return [
+            (p, self.results[label][p].elapsed)
+            for p in self.process_counts(label)
+        ]
+
+    def best_speedup_over_baseline(
+        self, baseline_label: str = "Baseline"
+    ) -> tuple[float, str, int]:
+        """Table IV metric: Baseline time on the smallest process count
+        divided by the fastest (variant, p) observed; returns
+        ``(speedup, winning label, winning p)``."""
+        base = self.results.get(baseline_label)
+        if not base:
+            raise KeyError(f"no {baseline_label!r} results recorded")
+        base_time = base[min(base)].elapsed
+        best = (0.0, baseline_label, min(base))
+        for label, by_p in self.results.items():
+            for p, res in by_p.items():
+                if res.elapsed <= 0:
+                    continue
+                speedup = base_time / res.elapsed
+                if speedup > best[0]:
+                    best = (speedup, label, p)
+        return best
+
+    def modularity_spread(self) -> tuple[float, float]:
+        """(min, max) final modularity across every configuration."""
+        mods = [
+            r.modularity
+            for by_p in self.results.values()
+            for r in by_p.values()
+        ]
+        return min(mods), max(mods)
+
+
+def run_variant_sweep(
+    g: CSRGraph,
+    graph_name: str,
+    configs: list[LouvainConfig],
+    process_counts: list[int],
+    machine: MachineModel = CORI_HASWELL,
+    partition: str = "even_edge",
+) -> SweepResultSet:
+    """Run every (config, nranks) combination on ``g``."""
+    out = SweepResultSet(graph_name=graph_name)
+    for config in configs:
+        for p in process_counts:
+            res = run_louvain(
+                g, p, config, machine=machine, partition=partition
+            )
+            out.add(config.label(), p, res)
+    return out
+
+
+def strong_scaling_curve(
+    g: CSRGraph,
+    config: LouvainConfig,
+    process_counts: list[int],
+    machine: MachineModel = CORI_HASWELL,
+) -> list[tuple[int, float]]:
+    """(p, modelled seconds) for one variant — one curve of Fig. 3."""
+    return [
+        (p, run_louvain(g, p, config, machine=machine).elapsed)
+        for p in process_counts
+    ]
+
+
+def speedup_table(
+    curve: list[tuple[int, float]]
+) -> list[tuple[int, float, float]]:
+    """(p, time, speedup vs the smallest p) rows for a scaling curve."""
+    if not curve:
+        return []
+    base_p, base_t = curve[0]
+    del base_p
+    return [(p, t, (base_t / t) if t > 0 else float("inf")) for p, t in curve]

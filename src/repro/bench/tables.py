@@ -1,0 +1,56 @@
+"""Plain-text table / series formatting for the benchmark harness.
+
+Benchmarks print the same rows the paper's tables report; this module
+keeps the formatting in one place so every bench output looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[Any, Any]], unit: str = ""
+) -> str:
+    """Render an (x, y) series, one point per line — the textual stand-in
+    for one curve of a paper figure."""
+    lines = [f"series: {name}" + (f" [{unit}]" if unit else "")]
+    for x, y in points:
+        lines.append(f"  {_cell(x):>12} -> {_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 1e4 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4f}".rstrip("0").rstrip(".")
+    return str(v)

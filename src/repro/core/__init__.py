@@ -1,0 +1,93 @@
+"""Core algorithms: the paper's distributed Louvain and its comparators."""
+
+from .coarsen import coarsen_csr, rebuild_distributed, remote_lookup
+from .coloring import distributed_coloring, verify_coloring
+from .config import (
+    DEFAULT_THRESHOLD_CYCLE,
+    PAPER_VARIANTS,
+    LouvainConfig,
+    Variant,
+)
+from .distlouvain import distributed_louvain, louvain_phase_distributed, run_louvain
+from .dynamic import (
+    ChurnStats,
+    EdgeChurn,
+    apply_churn,
+    churn_statistics,
+    incremental_louvain,
+)
+from .grappolo import grappolo_louvain, greedy_coloring, vertex_following_seed
+from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
+from .modularity import (
+    community_aggregates,
+    modularity,
+    modularity_bounds_ok,
+    move_gain,
+)
+from .result import (
+    IterationStats,
+    LouvainResult,
+    PhaseStats,
+    normalize_assignment,
+)
+from .resultio import (
+    load_result,
+    read_communities_text,
+    save_result,
+    write_communities_text,
+)
+from .sequential import louvain, louvain_phase
+from .sweep import SweepResult, propose_moves, sorted_lookup
+from .validate import (
+    AuditReport,
+    audit_community_info,
+    audit_ghost_coherence,
+    audit_partition,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD_CYCLE",
+    "EarlyTermination",
+    "IterationStats",
+    "LouvainConfig",
+    "LouvainResult",
+    "PAPER_VARIANTS",
+    "PhaseStats",
+    "SweepResult",
+    "ThresholdCycler",
+    "Variant",
+    "AuditReport",
+    "ChurnStats",
+    "EdgeChurn",
+    "apply_churn",
+    "audit_community_info",
+    "audit_ghost_coherence",
+    "audit_partition",
+    "churn_statistics",
+    "coarsen_csr",
+    "community_aggregates",
+    "distributed_coloring",
+    "distributed_louvain",
+    "grappolo_louvain",
+    "incremental_louvain",
+    "greedy_coloring",
+    "load_result",
+    "louvain",
+    "louvain_phase",
+    "louvain_phase_distributed",
+    "make_rank_rng",
+    "modularity",
+    "modularity_bounds_ok",
+    "move_gain",
+    "normalize_assignment",
+    "propose_moves",
+    "read_communities_text",
+    "rebuild_distributed",
+    "remote_lookup",
+    "run_louvain",
+    "save_result",
+    "sorted_lookup",
+    "verify_coloring",
+    "vertex_following_seed",
+    "write_communities_text",
+]

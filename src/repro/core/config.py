@@ -1,0 +1,156 @@
+"""Configuration for the Louvain variants evaluated in the paper (§V).
+
+The experiment legends map to :class:`Variant` as:
+
+* ``Baseline``          -> ``Variant.BASELINE``
+* ``Threshold Cycling`` -> ``Variant.THRESHOLD_CYCLING``
+* ``ET(alpha)``         -> ``Variant.ET`` with ``alpha`` set
+* ``ETC(alpha)``        -> ``Variant.ETC`` with ``alpha`` set
+* ``ET + TC`` (Table VI) -> ``Variant.ET_TC``
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Variant(enum.Enum):
+    """Algorithm variants from §IV-B / §V of the paper."""
+
+    BASELINE = "baseline"
+    THRESHOLD_CYCLING = "threshold-cycling"
+    ET = "et"
+    ETC = "etc"
+    ET_TC = "et+tc"
+
+    @property
+    def uses_early_termination(self) -> bool:
+        return self in (Variant.ET, Variant.ETC, Variant.ET_TC)
+
+    @property
+    def uses_threshold_cycling(self) -> bool:
+        return self in (Variant.THRESHOLD_CYCLING, Variant.ET_TC)
+
+    @property
+    def uses_inactive_exit(self) -> bool:
+        """ETC's extra collective: exit phase on global inactive count."""
+        return self is Variant.ETC
+
+
+#: Fig. 2 schedule: phases 0-2 at 1e-3, 3-6 at 1e-4, 7-9 at 1e-5,
+#: 10-12 at 1e-6, then the pattern repeats.
+DEFAULT_THRESHOLD_CYCLE: tuple[tuple[float, int], ...] = (
+    (1e-3, 3),
+    (1e-4, 4),
+    (1e-5, 3),
+    (1e-6, 3),
+)
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    """All knobs of the (distributed) Louvain implementation.
+
+    Defaults follow the paper: ``tau = 1e-6`` (Algorithm 2), ET inactive
+    floor 2%, ETC exit at 90% inactive, Fig. 2 threshold cycle.
+    """
+
+    variant: Variant = Variant.BASELINE
+    #: Convergence threshold tau (both iteration- and phase-level).
+    tau: float = 1e-6
+    #: ET decay parameter alpha in Eq. 3 (paper evaluates 0.25 / 0.75).
+    alpha: float = 0.25
+    #: Probability below which a vertex is labelled permanently inactive.
+    et_inactive_floor: float = 0.02
+    #: Global inactive fraction at which ETC exits the phase.
+    etc_exit_fraction: float = 0.90
+    #: (tau, phase-count) steps of the cycling schedule.
+    threshold_cycle: tuple[tuple[float, int], ...] = DEFAULT_THRESHOLD_CYCLE
+    #: Safety caps (the algorithm normally converges well before these).
+    max_phases: int = 40
+    max_iterations: int = 500
+    #: RNG seed for the ET probabilistic scheme.
+    seed: int = 0
+    #: Use MPI-3-style neighbourhood collectives for ghost exchange
+    #: (paper §VI future work; ablation knob).
+    use_neighbor_collectives: bool = False
+    #: Distance-1 coloring: process mutually non-adjacent vertex sets
+    #: one after another (paper §VI future work).  More synchronisation
+    #: per iteration, fewer iterations to converge.
+    use_coloring: bool = False
+    #: Only ship ghost community values that changed since the last
+    #: exchange (the "further sophistication" §IV-B(b) sketches —
+    #: unmoved vertices' ghost copies are already correct).
+    ghost_delta_updates: bool = False
+    #: Resolution parameter gamma: Q_gamma = sum_c [in_c/W - g(a_c/W)^2].
+    #: gamma > 1 favours more, smaller communities — the standard remedy
+    #: for the resolution limit the paper's §I discusses [12], [30].
+    resolution: float = 1.0
+    #: Gather per-phase vertex-community associations to rank 0
+    #: ("quality assessment feature", §V-D).  Costs extra collectives.
+    track_assignments: bool = False
+    #: Debug mode: audit the distributed state (C_info vs ground truth,
+    #: partition sanity, ghost coherence) after every phase and raise on
+    #: any inconsistency.  Expensive; for tests and debugging.
+    validate_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tau < 1.0:
+            raise ValueError(f"tau must be in (0, 1), got {self.tau}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0.0 <= self.et_inactive_floor < 1.0:
+            raise ValueError(
+                f"et_inactive_floor must be in [0, 1), got "
+                f"{self.et_inactive_floor}"
+            )
+        if not 0.0 < self.etc_exit_fraction <= 1.0:
+            raise ValueError(
+                f"etc_exit_fraction must be in (0, 1], got "
+                f"{self.etc_exit_fraction}"
+            )
+        if self.max_phases < 1 or self.max_iterations < 1:
+            raise ValueError("max_phases and max_iterations must be >= 1")
+        if self.resolution <= 0.0:
+            raise ValueError(
+                f"resolution must be > 0, got {self.resolution}"
+            )
+        if not self.threshold_cycle:
+            raise ValueError("threshold_cycle must be non-empty")
+        for tau_k, count in self.threshold_cycle:
+            if not 0.0 < tau_k < 1.0 or count < 1:
+                raise ValueError(
+                    f"bad threshold_cycle step ({tau_k}, {count})"
+                )
+
+    @property
+    def min_cycle_tau(self) -> float:
+        """Lowest tau in the cycling schedule (the forced final pass)."""
+        return min(t for t, _ in self.threshold_cycle)
+
+    def with_variant(self, variant: Variant, **kwargs) -> "LouvainConfig":
+        return replace(self, variant=variant, **kwargs)
+
+    def label(self) -> str:
+        """Legend string matching the paper's figures/tables."""
+        if self.variant is Variant.BASELINE:
+            return "Baseline"
+        if self.variant is Variant.THRESHOLD_CYCLING:
+            return "Threshold Cycling"
+        if self.variant is Variant.ET:
+            return f"ET({self.alpha:g})"
+        if self.variant is Variant.ETC:
+            return f"ETC({self.alpha:g})"
+        return f"ET({self.alpha:g})+TC"
+
+
+#: Ready-made configs for the variant sweep the paper reports.
+PAPER_VARIANTS: tuple[LouvainConfig, ...] = (
+    LouvainConfig(variant=Variant.BASELINE),
+    LouvainConfig(variant=Variant.THRESHOLD_CYCLING),
+    LouvainConfig(variant=Variant.ET, alpha=0.25),
+    LouvainConfig(variant=Variant.ET, alpha=0.75),
+    LouvainConfig(variant=Variant.ETC, alpha=0.25),
+    LouvainConfig(variant=Variant.ETC, alpha=0.75),
+)

@@ -1,0 +1,662 @@
+"""Distributed-memory parallel Louvain (the paper's Algorithms 2-4).
+
+SPMD structure (executed identically on every rank):
+
+Phase loop (Algorithm 2)
+    * ``ExchangeGhostVertices`` — one-time-per-phase ghost coordinate
+      exchange (Algorithm 4; :meth:`DistGraph.build_ghost_plan`);
+    * iteration loop (Algorithm 3):
+
+      i.   receive latest community assignment of every ghost vertex
+           (lines 4-5; bulk refresh, category ``ghost_comm``);
+      ii.  fetch current ``a_c``/size for every community referenced by
+           this iteration's *active* vertices from the community owners
+           (category ``community_comm``);
+      iii. snapshot sweep: compute the best move for every active local
+           vertex against the fetched state (lines 6-9; the shared
+           kernel from :mod:`repro.core.sweep`);
+      iv.  push ``a_c``/size deltas of the moves to community owners,
+           who apply them (lines 10-11, category ``community_comm``);
+      v.   one global allreduce combines the modularity partials, move
+           and activity counters (lines 12-13, category ``allreduce``);
+      vi.  tau test; plus ETC's extra inactive-count allreduce and its
+           90% exit when enabled (§IV-B(b)).
+
+    * distributed graph reconstruction (§IV-A(b); :mod:`~.coarsen`).
+
+Community ids live in the vertex-id space, and a community is owned by
+the rank owning the same-numbered vertex, so owners keep *dense*
+``a_c``/size arrays over their vertex interval — the ``C_info`` vector
+of Algorithm 3.
+
+Consistency semantics are the paper's: within an iteration every rank
+decides against state from the last synchronisation point, so remote
+community updates lag by one exchange (§III-B).  This is why the final
+modularity can differ slightly from the serial reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.distgraph import DistGraph
+from ..runtime.comm import Communicator
+from ..runtime.executor import SPMDResult, run_spmd
+from ..runtime.perfmodel import CORI_HASWELL, MachineModel
+from .coarsen import rebuild_distributed, remote_lookup
+from .config import LouvainConfig
+from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
+from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignment
+from .sweep import propose_moves, sorted_lookup
+
+
+@dataclass
+class _PhaseOutcome:
+    """What one phase hands back to the phase loop."""
+
+    local_comm: np.ndarray
+    ghost_comm: np.ndarray
+    modularity: float
+    stats: list[IterationStats]
+    exited_by_inactive: bool
+    #: Owner-side C_info at phase end (exposed for the debug audits).
+    tot_owned: np.ndarray | None = None
+    size_owned: np.ndarray | None = None
+
+
+class _GhostChannel:
+    """Per-phase ghost community refresh (Algorithm 3, lines 4-5).
+
+    Two transports:
+
+    * full refresh (the paper's baseline): every owned vertex's current
+      community ships to every rank ghosting it, each call;
+    * delta refresh (``config.ghost_delta_updates``, the optimization
+      §IV-B(b) sketches as "further sophistication"): only vertices
+      whose community changed since the last send are shipped, since a
+      ghost copy of an unmoved vertex is already correct.
+    """
+
+    def __init__(self, dg: DistGraph, plan, config: LouvainConfig):
+        self.dg = dg
+        self.plan = plan
+        self.delta = config.ghost_delta_updates
+        self.neighbor = config.use_neighbor_collectives
+        self._ghost: np.ndarray | None = None
+        self._last_sent: np.ndarray | None = None
+
+    def refresh(self, comm: Communicator, local_comm: np.ndarray) -> np.ndarray:
+        if not self.delta or self._ghost is None:
+            self._ghost = self.dg.exchange_ghost_values(
+                comm,
+                self.plan,
+                local_comm,
+                category="ghost_comm",
+                use_neighbor_collectives=self.neighbor,
+            )
+            self._last_sent = local_comm.copy()
+            return self._ghost
+        vb = self.dg.vbegin
+        changed = local_comm != self._last_sent
+        payloads = []
+        for r in range(comm.size):
+            ids = self.plan.send_ids.get(r)
+            if ids is None:
+                payloads.append(
+                    (np.empty(0, np.int64), np.empty(0, np.int64))
+                )
+                continue
+            m = changed[ids - vb]
+            payloads.append((ids[m], local_comm[ids[m] - vb]))
+        received = comm.alltoall(payloads, category="ghost_comm")
+        for r, (ids, values) in enumerate(received):
+            if r == comm.rank or not len(ids):
+                continue
+            slots = np.searchsorted(self.plan.ghost_ids, ids)
+            self._ghost[slots] = values
+        self._last_sent = local_comm.copy()
+        return self._ghost
+
+
+def _sweep_round(
+    comm: Communicator,
+    dg: DistGraph,
+    ghosts: _GhostChannel,
+    ctargets: np.ndarray,
+    rows: np.ndarray,
+    self_mask: np.ndarray,
+    k: np.ndarray,
+    local_comm: np.ndarray,
+    tot_owned: np.ndarray,
+    size_owned: np.ndarray,
+    active: np.ndarray,
+    config: LouvainConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Steps (i)-(iv) of one Louvain iteration for one active set.
+
+    Returns ``(new local_comm, moved mask, ghost_comm snapshot, moves)``.
+    The baseline calls this once per iteration with the full active set;
+    the coloring mode (§VI) calls it once per colour class.
+    """
+    w = dg.total_weight
+
+    # (i) latest ghost vertex community assignments (lines 4-5).
+    ghost_comm = ghosts.refresh(comm, local_comm)
+    target_comm = (
+        np.concatenate([local_comm, ghost_comm])[ctargets]
+        if len(ctargets)
+        else np.empty(0, dtype=np.int64)
+    )
+
+    # (ii) fetch a_c and |c| for the communities this round evaluates:
+    # neighbours of active vertices + their own.
+    if len(target_comm):
+        needed = np.unique(
+            np.concatenate([target_comm[active[rows]], local_comm[active]])
+        )
+    else:
+        needed = np.unique(local_comm[active])
+    needed_tot, needed_size = _fetch_community_info(
+        comm, dg, needed, tot_owned, size_owned
+    )
+
+    # (iii) local move computation (lines 6-9).
+    res = propose_moves(
+        index=dg.index,
+        target_comm=target_comm,
+        weights=dg.weights,
+        self_mask=self_mask,
+        degrees=k,
+        cur_comm=local_comm,
+        total_weight=w,
+        tot_lookup=sorted_lookup(needed, needed_tot),
+        size_lookup=sorted_lookup(needed, needed_size),
+        active=active,
+        resolution=config.resolution,
+    )
+    scanned = int(active[rows].sum()) if len(rows) else 0
+    comm.charge_compute(res.pairs_evaluated + scanned + dg.num_local)
+
+    # (iv) send community updates to owner processes (lines 10-11).
+    moved = res.moved
+    _apply_community_deltas(
+        comm,
+        dg,
+        old=local_comm[moved],
+        new=res.proposal[moved],
+        deg=k[moved],
+        tot_owned=tot_owned,
+        size_owned=size_owned,
+    )
+    return res.proposal, moved, ghost_comm, res.num_moves
+
+
+def louvain_phase_distributed(
+    comm: Communicator,
+    dg: DistGraph,
+    tau: float,
+    config: LouvainConfig,
+    phase: int,
+    initial_assignment: np.ndarray | None = None,
+) -> _PhaseOutcome:
+    """Algorithm 3: the Louvain iterations of one phase at this rank.
+
+    ``initial_assignment`` (community id per *owned* vertex, in the
+    global vertex-id space) seeds the phase instead of singletons —
+    the hook the dynamic/incremental mode uses to warm-start from a
+    previous solution.
+    """
+    plan = dg.build_ghost_plan(comm)
+    ctargets = dg.compressed_targets(plan)
+    nloc = dg.num_local
+    vb = dg.vbegin
+    w = dg.total_weight
+    n_global = dg.num_global_vertices
+    k = dg.local_degrees()
+    rows = np.repeat(np.arange(nloc, dtype=np.int64), np.diff(dg.index))
+    self_mask = dg.edges == rows + vb
+
+    # Each vertex starts in its own community; owners of the community id
+    # range coincide with owners of the vertex range, so C_info is dense.
+    local_comm = np.arange(vb, dg.vend, dtype=np.int64)
+    tot_owned = k.copy()
+    size_owned = np.ones(nloc, dtype=np.int64)
+    ghosts = _GhostChannel(dg, plan, config)
+
+    if initial_assignment is not None:
+        # Warm start: treat the seed as a batch of moves from the
+        # singleton state, so the owner-side C_info updates flow through
+        # the same delta machinery as regular iterations.
+        seed_comm = np.asarray(initial_assignment, dtype=np.int64)
+        if len(seed_comm) != nloc:
+            raise ValueError(
+                f"initial_assignment covers {len(seed_comm)} vertices, "
+                f"rank owns {nloc}"
+            )
+        moved0 = seed_comm != local_comm
+        _apply_community_deltas(
+            comm,
+            dg,
+            old=local_comm[moved0],
+            new=seed_comm[moved0],
+            deg=k[moved0],
+            tot_owned=tot_owned,
+            size_owned=size_owned,
+        )
+        local_comm = seed_comm.copy()
+
+    # §VI future work: distance-1 coloring so concurrently processed
+    # vertices are mutually non-adjacent (one sweep per colour class).
+    color_classes: list[np.ndarray] | None = None
+    if config.use_coloring:
+        from .coloring import distributed_coloring
+
+        colors = distributed_coloring(comm, dg, plan, seed=config.seed)
+        num_colors = int(comm.allreduce(
+            int(colors.max()) + 1 if nloc else 0, op="max",
+            category="other",
+        ))
+        color_classes = [colors == c for c in range(num_colors)]
+
+    et = (
+        EarlyTermination(
+            nloc, config, make_rank_rng(config.seed, comm.rank, phase)
+        )
+        if config.variant.uses_early_termination
+        else None
+    )
+
+    stats: list[IterationStats] = []
+    prev_q = -np.inf
+    q = 0.0
+    ghost_comm = np.empty(0, dtype=np.int64)
+    exited_by_inactive = False
+
+    for it in range(config.max_iterations):
+        # ET: vertices mark themselves active/inactive first (§IV-B(b)).
+        active = et.draw_active() if et is not None else np.ones(nloc, bool)
+
+        moved = np.zeros(nloc, dtype=bool)
+        moves = 0
+        rounds = (
+            [active]
+            if color_classes is None
+            else [active & cls for cls in color_classes]
+        )
+        for round_active in rounds:
+            local_comm, round_moved, ghost_comm, n = _sweep_round(
+                comm, dg, ghosts, ctargets, rows, self_mask, k,
+                local_comm, tot_owned, size_owned, round_active, config,
+            )
+            moved |= round_moved
+            moves += n
+
+        # (v) global modularity (lines 12-13).  The stale-ghost view is
+        # intentional: remote moves from this iteration are not visible
+        # until the next exchange (§III-B).
+        if len(ctargets):
+            target_after = np.concatenate([local_comm, ghost_comm])[ctargets]
+            intra = local_comm[rows] == target_after
+            local_in = float(dg.weights[intra].sum())
+        else:
+            local_in = 0.0
+        comm.charge_compute(dg.num_local_entries)
+        local_inactive = et.update(moved) if et is not None else 0
+        partial = np.array(
+            [
+                local_in,
+                float(np.square(tot_owned / w).sum()) if w > 0 else 0.0,
+                float(moves),
+                float(active.sum()),
+            ]
+        )
+        total = comm.allreduce(partial, category="allreduce")
+        q = (
+            total[0] / w - config.resolution * total[1]
+            if w > 0
+            else 0.0
+        )
+
+        stats.append(
+            IterationStats(
+                phase=phase,
+                iteration=it,
+                modularity=q,
+                moves=int(total[2]),
+                active_fraction=(total[3] / n_global) if n_global else 1.0,
+                inactive_fraction=0.0 if et is None else -1.0,  # fixed below
+            )
+        )
+
+        # (vi) exit tests.
+        if config.variant.uses_inactive_exit:
+            # ETC's extra remote communication: global inactive count.
+            global_inactive = comm.allreduce(
+                local_inactive, category="allreduce"
+            )
+            frac = global_inactive / n_global if n_global else 0.0
+            stats[-1] = _with_inactive(stats[-1], frac)
+            if frac >= config.etc_exit_fraction:
+                exited_by_inactive = True
+                break
+        elif et is not None:
+            # ET tracks only its local view (no extra collective).
+            stats[-1] = _with_inactive(stats[-1], et.inactive_fraction())
+        if q - prev_q <= tau:
+            break
+        prev_q = q
+
+    # Refresh ghosts one last time so reconstruction sees final state.
+    ghost_comm = ghosts.refresh(comm, local_comm)
+    return _PhaseOutcome(
+        local_comm=local_comm,
+        ghost_comm=ghost_comm,
+        modularity=q,
+        stats=stats,
+        exited_by_inactive=exited_by_inactive,
+        tot_owned=tot_owned,
+        size_owned=size_owned,
+    )
+
+
+def _with_inactive(s: IterationStats, frac: float) -> IterationStats:
+    return IterationStats(
+        phase=s.phase,
+        iteration=s.iteration,
+        modularity=s.modularity,
+        moves=s.moves,
+        active_fraction=s.active_fraction,
+        inactive_fraction=frac,
+    )
+
+
+def _fetch_community_info(
+    comm: Communicator,
+    dg: DistGraph,
+    needed: np.ndarray,
+    tot_owned: np.ndarray,
+    size_owned: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pull current (a_c, |c|) for each community id in ``needed``.
+
+    Owners answer from their dense C_info arrays.  Two alltoalls
+    (request + reply), charged to ``community_comm`` — the traffic the
+    paper's §V-A profile attributes ~34% of the runtime to.
+    """
+    vb = dg.vbegin
+    owners = np.searchsorted(dg.offsets, needed, side="right") - 1
+    requests = [
+        needed[owners == r] if r != comm.rank else np.empty(0, np.int64)
+        for r in range(comm.size)
+    ]
+    incoming = comm.alltoall(requests, category="community_comm")
+    replies = []
+    for ids in incoming:
+        if len(ids):
+            loc = ids - vb
+            replies.append(
+                np.stack([tot_owned[loc], size_owned[loc].astype(np.float64)])
+            )
+        else:
+            replies.append(np.empty((2, 0)))
+    answers = comm.alltoall(replies, category="community_comm")
+
+    tot_out = np.empty(len(needed), dtype=np.float64)
+    size_out = np.empty(len(needed), dtype=np.int64)
+    mine = owners == comm.rank
+    if np.any(mine):
+        loc = needed[mine] - vb
+        tot_out[mine] = tot_owned[loc]
+        size_out[mine] = size_owned[loc]
+    for r in range(comm.size):
+        sent = requests[r]
+        if len(sent):
+            slots = np.searchsorted(needed, sent)
+            tot_out[slots] = answers[r][0]
+            size_out[slots] = answers[r][1].astype(np.int64)
+    return tot_out, size_out
+
+
+def _apply_community_deltas(
+    comm: Communicator,
+    dg: DistGraph,
+    old: np.ndarray,
+    new: np.ndarray,
+    deg: np.ndarray,
+    tot_owned: np.ndarray,
+    size_owned: np.ndarray,
+) -> None:
+    """Route (a_c, |c|) deltas of this rank's moves to community owners.
+
+    Every rank participates in the exchange even with zero moves (the
+    collective is unconditional in Algorithm 3).
+    """
+    ids = np.concatenate([old, new])
+    dtot = np.concatenate([-deg, deg])
+    dsize = np.concatenate(
+        [-np.ones(len(old), np.int64), np.ones(len(new), np.int64)]
+    )
+    # Pre-aggregate duplicates before communicating.
+    uniq, inv = np.unique(ids, return_inverse=True)
+    agg_tot = np.zeros(len(uniq))
+    agg_size = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(agg_tot, inv, dtot)
+    np.add.at(agg_size, inv, dsize)
+
+    owners = np.searchsorted(dg.offsets, uniq, side="right") - 1
+    outgoing = []
+    for r in range(comm.size):
+        m = owners == r
+        outgoing.append((uniq[m], agg_tot[m], agg_size[m]))
+    received = comm.alltoall(outgoing, category="community_comm")
+
+    vb = dg.vbegin
+    for r, (rids, rtot, rsize) in enumerate(received):
+        if len(rids):
+            loc = rids - vb
+            np.add.at(tot_owned, loc, rtot)
+            np.add.at(size_owned, loc, rsize)
+
+
+def _exact_modularity(
+    comm: Communicator, dg: DistGraph, resolution: float = 1.0
+) -> float:
+    """Exact Q of the singleton partition of ``dg``.
+
+    On a freshly coarsened graph this is the exact modularity of the
+    phase's final communities: each meta vertex's self loop carries the
+    intra-community weight (in_c) and its degree is the community's
+    incident weight (a_c).  One small allreduce.
+    """
+    w = dg.total_weight
+    if w <= 0:
+        return 0.0
+    partial = np.array(
+        [float(dg.local_self_loops().sum()),
+         float(np.square(dg.local_degrees()).sum())]
+    )
+    total = comm.allreduce(partial, category="allreduce")
+    return float(total[0] / w - resolution * total[1] / (w * w))
+
+
+def distributed_louvain(
+    comm: Communicator,
+    dg: DistGraph,
+    config: LouvainConfig | None = None,
+    initial_assignment: np.ndarray | None = None,
+) -> LouvainResult:
+    """Algorithm 2: the full multi-phase distributed Louvain at one rank.
+
+    Returns the (replicated) result; ``assignment`` covers the original
+    global vertex set.  ``elapsed``/``trace`` are filled by the driver
+    (:func:`run_louvain`) from the executor's clocks.
+
+    ``initial_assignment`` warm-starts phase 0 from an existing
+    community per owned vertex (global community ids drawn from the
+    vertex-id space) — the incremental/dynamic re-detection mode.
+    """
+    config = config or LouvainConfig()
+    cycler = (
+        ThresholdCycler(config)
+        if config.variant.uses_threshold_cycling
+        else None
+    )
+    # Each rank tracks the current meta-vertex of the original vertices
+    # it loaded (its phase-0 interval).
+    orig_slice = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+    prev_mod = -np.inf
+    phases: list[PhaseStats] = []
+    iterations: list[IterationStats] = []
+    phase_assignments: list[np.ndarray] | None = (
+        [] if config.track_assignments else None
+    )
+    final_mod = 0.0
+
+    for phase in range(config.max_phases):
+        tau = cycler.tau_for_phase(phase) if cycler else config.tau
+        out = louvain_phase_distributed(
+            comm,
+            dg,
+            tau,
+            config,
+            phase,
+            initial_assignment=initial_assignment if phase == 0 else None,
+        )
+        iterations.extend(out.stats)
+        n_vertices = dg.num_global_vertices
+        n_edges = comm.allreduce(dg.num_local_entries, category="allreduce")
+        phases.append(
+            PhaseStats(
+                phase=phase,
+                tau=tau,
+                num_iterations=len(out.stats),
+                modularity=out.modularity,
+                num_vertices=n_vertices,
+                num_edges=n_edges // 2,  # stored entries ~ 2 per edge
+                exited_by_inactive=out.exited_by_inactive,
+            )
+        )
+        if config.validate_invariants:
+            from .validate import (
+                audit_community_info,
+                audit_ghost_coherence,
+                audit_partition,
+            )
+
+            audit_community_info(
+                comm, dg, out.local_comm, out.tot_owned, out.size_owned
+            ).raise_if_failed()
+            audit_partition(comm, dg, out.local_comm).raise_if_failed()
+            audit_ghost_coherence(
+                comm, dg, out.local_comm, out.ghost_comm
+            ).raise_if_failed()
+
+        new_dg, local_new = rebuild_distributed(
+            comm, dg, out.local_comm, out.ghost_comm
+        )
+        # The per-iteration modularity is computed against the stale
+        # ghost view (the paper's semantics).  The coarsened graph gives
+        # the *exact* value for free: meta self-loops are in_c and meta
+        # degrees are a_c, both fully synchronised after the rebuild.
+        final_mod = _exact_modularity(comm, new_dg, config.resolution)
+        # Fold this phase into the original-vertex assignment: the new
+        # meta id of original vertex o is local_new[x - vb] at the owner
+        # of o's current meta vertex x.
+        vb_old = dg.vbegin
+        orig_slice = remote_lookup(
+            comm,
+            dg.offsets,
+            orig_slice,
+            lambda ids: local_new[ids - vb_old],
+            category="rebuild",
+        )
+        if phase_assignments is not None:
+            gathered = comm.gather(orig_slice, root=0, category="other")
+            if comm.rank == 0:
+                phase_assignments.append(np.concatenate(gathered))
+
+        gain = out.modularity - prev_mod
+        no_merge = new_dg.num_global_vertices == dg.num_global_vertices
+        dg = new_dg
+        if gain <= tau or no_merge:
+            if cycler and not cycler.in_final_pass and tau > cycler.final_tau:
+                cycler.enter_final_pass()
+                prev_mod = out.modularity
+                continue
+            break
+        prev_mod = out.modularity
+
+    # Assemble the replicated original-vertex assignment.
+    pieces = comm.allgather(orig_slice, category="other")
+    assignment = normalize_assignment(np.concatenate(pieces))
+    return LouvainResult(
+        modularity=final_mod,
+        assignment=assignment,
+        phases=phases,
+        iterations=iterations,
+        phase_assignments=phase_assignments,
+    )
+
+
+def run_louvain(
+    g: CSRGraph,
+    nranks: int,
+    config: LouvainConfig | None = None,
+    *,
+    machine: MachineModel = CORI_HASWELL,
+    partition: str = "even_edge",
+    timeout: float = 300.0,
+    initial_assignment: np.ndarray | None = None,
+) -> LouvainResult:
+    """Driver: distribute ``g`` over ``nranks`` simulated ranks and run.
+
+    The returned result carries the modelled execution time and the
+    per-category trace of the whole SPMD run.  ``initial_assignment``
+    (community id per *global* vertex; any integer labels) warm-starts
+    the run — see :mod:`repro.core.dynamic`.
+    """
+    seed_global = None
+    if initial_assignment is not None:
+        seed_global = _labels_to_vertex_space(initial_assignment)
+
+    def main(comm: Communicator) -> LouvainResult:
+        dg = DistGraph.distribute(comm, g, partition=partition)
+        seed_local = (
+            seed_global[dg.vbegin:dg.vend] if seed_global is not None else None
+        )
+        return distributed_louvain(
+            comm, dg, config, initial_assignment=seed_local
+        )
+
+    spmd: SPMDResult = run_spmd(nranks, main, machine=machine, timeout=timeout)
+    result: LouvainResult = spmd.value
+    result.elapsed = spmd.elapsed
+    result.trace = spmd.trace
+    return result
+
+
+def _labels_to_vertex_space(labels: np.ndarray) -> np.ndarray:
+    """Map arbitrary community labels into the vertex-id space.
+
+    The distributed algorithm requires community ids to be vertex ids
+    (the owner of community ``c`` is the owner of vertex ``c``).  Each
+    community is renamed to its minimum member vertex id, which is
+    always a valid vertex and stable under relabeling.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = len(labels)
+    if n == 0:
+        return labels.copy()
+    # Sort by (label, vertex id): the first entry of each label group is
+    # that community's minimum member vertex.
+    order = np.lexsort((np.arange(n), labels))
+    sorted_labels = labels[order]
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    first[1:] = sorted_labels[1:] != sorted_labels[:-1]
+    uniq = sorted_labels[first]
+    min_member = order[first]
+    return min_member[np.searchsorted(uniq, labels)].astype(np.int64)

@@ -1,0 +1,281 @@
+"""Shared-memory parallel Louvain in the style of Grappolo [22].
+
+The paper uses Grappolo as its single-node comparator (Table III) and as
+the vehicle for the preliminary ET study (Table I).  This module
+reproduces its algorithmic behaviour:
+
+* vertices decide moves **in parallel against an iteration-start
+  snapshot** (OpenMP semantics), implemented here with the shared
+  vectorised sweep kernel;
+* optional **distance-1 coloring**: color classes are processed one
+  after another, each class in parallel, so vertices moving together are
+  never adjacent — Grappolo's convergence heuristic;
+* optional **vertex following**: degree-1 vertices are pre-merged into
+  their sole neighbour's community at the start of each phase;
+* the ET heuristic (Eq. 3) exactly as §IV-B(b) describes modifying the
+  multithreaded implementation for Table I.
+
+Thread count affects modelled time through the machine model's OpenMP
+curve; the algorithmic trajectory is deterministic and thread-agnostic
+(as is Grappolo's under coloring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..runtime.perfmodel import CORI_HASWELL_SHARED, MachineModel
+from .coarsen import coarsen_csr
+from .config import LouvainConfig
+from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
+from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignment
+from .sweep import propose_moves
+
+
+def greedy_coloring(g: CSRGraph) -> np.ndarray:
+    """Distance-1 greedy coloring (smallest available color, id order)."""
+    n = g.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    for u in range(n):
+        nbrs, _ = g.neighbors(u)
+        taken = set(int(colors[v]) for v in nbrs if colors[v] >= 0)
+        c = 0
+        while c in taken:
+            c += 1
+        colors[u] = c
+    return colors
+
+
+def vertex_following_seed(g: CSRGraph) -> np.ndarray:
+    """Initial assignment merging degree-1 vertices into their neighbour.
+
+    Lu et al.'s vertex-following heuristic: a vertex with exactly one
+    (non-loop) neighbour can never profitably sit in its own community,
+    so it starts in the neighbour's.  Chains collapse toward the
+    non-degree-1 end by id order (single pass, like the reference code).
+    """
+    n = g.num_vertices
+    comm = np.arange(n, dtype=np.int64)
+    for u in range(n):
+        nbrs, _ = g.neighbors(u)
+        if len(nbrs) == 1 and nbrs[0] != u:
+            # True leaf: exactly one neighbour and no self loop.  (A meta
+            # vertex with a self loop has internal structure; following
+            # it would wrongly dissolve a whole community.)
+            comm[u] = comm[nbrs[0]]
+    return comm
+
+
+class _Timer:
+    """Accumulates modelled seconds for the shared-memory run."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.seconds = 0.0
+
+    def charge(self, ops: float) -> None:
+        self.seconds += self.machine.compute_cost(ops)
+
+
+def grappolo_louvain(
+    g: CSRGraph,
+    config: LouvainConfig | None = None,
+    *,
+    threads: int = 8,
+    coloring: bool = True,
+    vertex_following: bool = True,
+    machine: MachineModel = CORI_HASWELL_SHARED,
+    initial_assignment: np.ndarray | None = None,
+) -> LouvainResult:
+    """Multi-phase shared-memory Louvain; returns result with modelled time.
+
+    ``initial_assignment`` warm-starts phase 0 from an existing
+    partition (arbitrary integer labels) instead of singletons — the
+    dynamic re-detection mode of [14].
+    """
+    config = config or LouvainConfig()
+    if initial_assignment is not None and len(initial_assignment) != g.num_vertices:
+        raise ValueError(
+            f"initial_assignment covers {len(initial_assignment)} vertices, "
+            f"graph has {g.num_vertices}"
+        )
+    timer = _Timer(machine.with_threads(threads))
+    orig_assign = np.arange(g.num_vertices, dtype=np.int64)
+    cur = g
+    cycler = (
+        ThresholdCycler(config)
+        if config.variant.uses_threshold_cycling
+        else None
+    )
+    prev_mod = -np.inf
+    phases: list[PhaseStats] = []
+    iterations: list[IterationStats] = []
+    final_mod = 0.0
+
+    for phase in range(config.max_phases):
+        tau = cycler.tau_for_phase(phase) if cycler else config.tau
+        assignment, mod, stats, exited_inactive = _phase(
+            cur, tau, config, phase, timer, coloring, vertex_following,
+            seed_assignment=initial_assignment if phase == 0 else None,
+        )
+        iterations.extend(stats)
+        phases.append(
+            PhaseStats(
+                phase=phase,
+                tau=tau,
+                num_iterations=len(stats),
+                modularity=mod,
+                num_vertices=cur.num_vertices,
+                num_edges=cur.num_edges,
+                exited_by_inactive=exited_inactive,
+            )
+        )
+        meta, vertex_to_meta = coarsen_csr(cur, assignment)
+        timer.charge(cur.nnz)  # rebuild pass
+        orig_assign = vertex_to_meta[orig_assign]
+        final_mod = mod
+
+        gain = mod - prev_mod
+        no_merge = meta.num_vertices == cur.num_vertices
+        if gain <= tau or no_merge:
+            if cycler and not cycler.in_final_pass and tau > cycler.final_tau:
+                cycler.enter_final_pass()
+                prev_mod = mod
+                cur = meta
+                continue
+            break
+        prev_mod = mod
+        cur = meta
+
+    return LouvainResult(
+        modularity=final_mod,
+        assignment=normalize_assignment(orig_assign),
+        phases=phases,
+        iterations=iterations,
+        elapsed=timer.seconds,
+    )
+
+
+def _phase(
+    g: CSRGraph,
+    tau: float,
+    config: LouvainConfig,
+    phase: int,
+    timer: _Timer,
+    coloring: bool,
+    vertex_following: bool,
+    seed_assignment: np.ndarray | None = None,
+) -> tuple[np.ndarray, float, list[IterationStats], bool]:
+    n = g.num_vertices
+    w = g.total_weight
+    k = g.degrees()
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.index))
+    self_mask = g.edges == rows
+
+    if seed_assignment is not None:
+        # Warm start: rename each community to its minimum member vertex
+        # so labels live in the vertex-id space the sweep expects.
+        from .distlouvain import _labels_to_vertex_space
+
+        comm = _labels_to_vertex_space(seed_assignment)
+    else:
+        comm = (
+            vertex_following_seed(g)
+            if vertex_following
+            else np.arange(n, dtype=np.int64)
+        )
+        if vertex_following:
+            timer.charge(g.nnz)
+
+    if coloring and n:
+        colors = greedy_coloring(g)
+        color_classes = [
+            np.flatnonzero(colors == c) for c in range(int(colors.max()) + 1)
+        ]
+        timer.charge(g.nnz)
+    else:
+        color_classes = [np.arange(n, dtype=np.int64)]
+
+    et = (
+        EarlyTermination(n, config, make_rank_rng(config.seed, 0, phase))
+        if config.variant.uses_early_termination
+        else None
+    )
+    stats: list[IterationStats] = []
+    prev_q = -np.inf
+    q = 0.0
+    exited_inactive = False
+
+    for it in range(config.max_iterations):
+        active = et.draw_active() if et else np.ones(n, dtype=bool)
+        moved = np.zeros(n, dtype=bool)
+        for cls in color_classes:
+            cls_active = np.zeros(n, dtype=bool)
+            cls_active[cls] = active[cls]
+            if not cls_active.any():
+                continue
+            tot = np.zeros(n, dtype=np.float64)
+            np.add.at(tot, comm, k)
+            size = np.bincount(comm, minlength=n)
+            res = propose_moves(
+                index=g.index,
+                target_comm=comm[g.edges],
+                weights=g.weights,
+                self_mask=self_mask,
+                degrees=k,
+                cur_comm=comm,
+                total_weight=w,
+                tot_lookup=lambda ids, t=tot: t[ids],
+                size_lookup=lambda ids, s=size: s[ids],
+                active=cls_active,
+                resolution=config.resolution,
+            )
+            comm = res.proposal
+            moved |= res.moved
+            timer.charge(res.pairs_evaluated + int(cls_active[rows].sum()))
+
+        q = _modularity_dense(g, comm, k, w, rows, config.resolution)
+        timer.charge(g.nnz)  # modularity pass
+        inactive_frac = 0.0
+        if et is not None:
+            et.update(moved)
+            inactive_frac = et.inactive_fraction()
+        stats.append(
+            IterationStats(
+                phase=phase,
+                iteration=it,
+                modularity=q,
+                moves=int(moved.sum()),
+                active_fraction=float(active.mean()) if n else 1.0,
+                inactive_fraction=inactive_frac,
+            )
+        )
+        if (
+            config.variant.uses_inactive_exit
+            and inactive_frac >= config.etc_exit_fraction
+        ):
+            exited_inactive = True
+            break
+        if q - prev_q <= tau:
+            break
+        prev_q = q
+
+    return comm, q, stats, exited_inactive
+
+
+def _modularity_dense(
+    g: CSRGraph,
+    comm: np.ndarray,
+    k: np.ndarray,
+    w: float,
+    rows: np.ndarray,
+    resolution: float = 1.0,
+) -> float:
+    if w <= 0:
+        return 0.0
+    intra = comm[rows] == comm[g.edges]
+    cin = float(g.weights[intra].sum())
+    tot = np.zeros(g.num_vertices, dtype=np.float64)
+    np.add.at(tot, comm, k)
+    return cin / w - resolution * float(np.square(tot / w).sum())

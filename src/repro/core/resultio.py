@@ -1,0 +1,108 @@
+"""Persist and reload community detection results.
+
+Two formats:
+
+* ``.npz`` — compact binary (assignment + scalar metadata), the choice
+  for pipelines;
+* ``.txt`` — one ``vertex community`` pair per line, the conventional
+  interchange format ground-truth files (e.g. LFR, SNAP communities)
+  use, so results can be compared with external tools.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .result import LouvainResult, PhaseStats
+
+
+def save_result(path: str | os.PathLike, result: LouvainResult) -> None:
+    """Save a result as ``.npz`` (assignment + run metadata)."""
+    meta = {
+        "modularity": result.modularity,
+        "elapsed": result.elapsed,
+        "phases": [
+            {
+                "phase": p.phase,
+                "tau": p.tau,
+                "num_iterations": p.num_iterations,
+                "modularity": p.modularity,
+                "num_vertices": p.num_vertices,
+                "num_edges": p.num_edges,
+                "exited_by_inactive": p.exited_by_inactive,
+            }
+            for p in result.phases
+        ],
+    }
+    np.savez_compressed(
+        path,
+        assignment=result.assignment,
+        meta=np.array(json.dumps(meta)),
+    )
+
+
+def load_result(path: str | os.PathLike) -> LouvainResult:
+    """Reload a result saved by :func:`save_result`.
+
+    Per-iteration statistics are not persisted (they are diagnostics of
+    a run, not part of the result); phases and the final state are.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        assignment = data["assignment"]
+        meta = json.loads(str(data["meta"]))
+    phases = [
+        PhaseStats(
+            phase=p["phase"],
+            tau=p["tau"],
+            num_iterations=p["num_iterations"],
+            modularity=p["modularity"],
+            num_vertices=p["num_vertices"],
+            num_edges=p["num_edges"],
+            exited_by_inactive=p["exited_by_inactive"],
+        )
+        for p in meta["phases"]
+    ]
+    return LouvainResult(
+        modularity=meta["modularity"],
+        assignment=assignment.astype(np.int64),
+        phases=phases,
+        elapsed=meta["elapsed"],
+    )
+
+
+def write_communities_text(
+    path: str | os.PathLike, assignment: np.ndarray
+) -> None:
+    """Write ``vertex community`` pairs, one per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for v, c in enumerate(assignment):
+            fh.write(f"{v} {c}\n")
+
+
+def read_communities_text(path: str | os.PathLike) -> np.ndarray:
+    """Read ``vertex community`` pairs back into a dense array."""
+    pairs = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'vertex community'"
+                )
+            pairs.append((int(parts[0]), int(parts[1])))
+    if not pairs:
+        return np.empty(0, dtype=np.int64)
+    n = max(v for v, _ in pairs) + 1
+    out = np.full(n, -1, dtype=np.int64)
+    for v, c in pairs:
+        out[v] = c
+    if np.any(out < 0):
+        missing = int(np.flatnonzero(out < 0)[0])
+        raise ValueError(f"{path}: no community listed for vertex {missing}")
+    return out

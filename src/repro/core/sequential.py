@@ -1,0 +1,177 @@
+"""Serial Louvain method (paper Algorithm 1; Blondel et al. 2008).
+
+This is the library's correctness reference: a faithful sequential
+implementation where every vertex sees the *latest* community state (the
+property §III-B points out distributed implementations must give up).
+Multi-phase with coarsening; supports the same variant knobs as the
+parallel paths so heuristic behaviour can be studied in isolation
+(Table I of the paper does exactly that with a shared-memory code).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .coarsen import coarsen_csr
+from .config import LouvainConfig
+from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
+from .modularity import modularity
+from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignment
+from .sweep import GAIN_EPS
+
+
+def louvain(g: CSRGraph, config: LouvainConfig | None = None) -> LouvainResult:
+    """Run the full multi-phase serial Louvain method on ``g``."""
+    config = config or LouvainConfig()
+    orig_assign = np.arange(g.num_vertices, dtype=np.int64)
+    cur = g
+    cycler = (
+        ThresholdCycler(config)
+        if config.variant.uses_threshold_cycling
+        else None
+    )
+    prev_mod = -np.inf
+    phases: list[PhaseStats] = []
+    iterations: list[IterationStats] = []
+    phase_assignments: list[np.ndarray] | None = (
+        [] if config.track_assignments else None
+    )
+    final_assignment = orig_assign
+    final_mod = 0.0
+
+    for phase in range(config.max_phases):
+        tau = cycler.tau_for_phase(phase) if cycler else config.tau
+        assignment, mod, stats = louvain_phase(cur, tau, config, phase)
+        iterations.extend(stats)
+        phases.append(
+            PhaseStats(
+                phase=phase,
+                tau=tau,
+                num_iterations=len(stats),
+                modularity=mod,
+                num_vertices=cur.num_vertices,
+                num_edges=cur.num_edges,
+            )
+        )
+        meta, vertex_to_meta = coarsen_csr(cur, assignment)
+        orig_assign = vertex_to_meta[orig_assign]
+        final_assignment = orig_assign
+        final_mod = mod
+        if phase_assignments is not None:
+            phase_assignments.append(orig_assign.copy())
+
+        gain = mod - prev_mod
+        no_merge = meta.num_vertices == cur.num_vertices
+        if gain <= tau or no_merge:
+            if cycler and not cycler.in_final_pass and tau > cycler.final_tau:
+                # §V-C(a): force one more pass at the lowest threshold to
+                # make sure no quality is left on the table.
+                cycler.enter_final_pass()
+                prev_mod = mod
+                cur = meta
+                continue
+            break
+        prev_mod = mod
+        cur = meta
+
+    return LouvainResult(
+        modularity=final_mod,
+        assignment=normalize_assignment(final_assignment),
+        phases=phases,
+        iterations=iterations,
+        phase_assignments=phase_assignments,
+    )
+
+
+def louvain_phase(
+    g: CSRGraph, tau: float, config: LouvainConfig, phase: int
+) -> tuple[np.ndarray, float, list[IterationStats]]:
+    """One phase of sequential Louvain iterations on graph ``g``.
+
+    Returns ``(assignment, modularity, per-iteration stats)``; the
+    assignment uses community ids drawn from the vertex id space, as the
+    coarsening step expects.
+    """
+    n = g.num_vertices
+    w = g.total_weight
+    comm = np.arange(n, dtype=np.int64)
+    k = g.degrees()
+    tot = k.copy()
+    et = (
+        EarlyTermination(n, config, make_rank_rng(config.seed, 0, phase))
+        if config.variant.uses_early_termination
+        else None
+    )
+    stats: list[IterationStats] = []
+    prev_q = -np.inf
+    q = 0.0
+
+    for it in range(config.max_iterations):
+        active = et.draw_active() if et else np.ones(n, dtype=bool)
+        moved = np.zeros(n, dtype=bool)
+        moves = 0
+        for u in range(n):
+            if not active[u]:
+                continue
+            nbrs, wts = g.neighbors(u)
+            if len(nbrs) == 0:
+                continue
+            src = comm[u]
+            # d_{u,c}: edge weight from u into each neighbouring
+            # community, self loop excluded.
+            d: dict[int, float] = {int(src): 0.0}
+            for v, wv in zip(nbrs, wts):
+                if v == u:
+                    continue
+                c = int(comm[v])
+                d[c] = d.get(c, 0.0) + float(wv)
+            gamma = config.resolution
+            tot_src_wo_u = tot[src] - k[u]
+            best_c = int(src)
+            best_score = d[int(src)] - gamma * k[u] * tot_src_wo_u / w
+            src_score = best_score
+            for c, duc in d.items():
+                if c == src:
+                    continue
+                score = duc - gamma * k[u] * tot[c] / w
+                if score > best_score + GAIN_EPS * (1 + abs(best_score)) or (
+                    abs(score - best_score) <= GAIN_EPS * (1 + abs(best_score))
+                    and c < best_c
+                ):
+                    best_c, best_score = c, score
+            if best_c != src and best_score > src_score + GAIN_EPS * (
+                1 + abs(src_score)
+            ):
+                tot[src] -= k[u]
+                tot[best_c] += k[u]
+                comm[u] = best_c
+                moved[u] = True
+                moves += 1
+
+        if w > 0:
+            q = modularity(g, comm, config.resolution)
+        inactive_frac = 0.0
+        if et is not None:
+            et.update(moved)
+            inactive_frac = et.inactive_fraction()
+        stats.append(
+            IterationStats(
+                phase=phase,
+                iteration=it,
+                modularity=q,
+                moves=moves,
+                active_fraction=float(active.mean()) if n else 1.0,
+                inactive_fraction=inactive_frac,
+            )
+        )
+        if (
+            config.variant.uses_inactive_exit
+            and inactive_frac >= config.etc_exit_fraction
+        ):
+            break
+        if q - prev_q <= tau:
+            break
+        prev_q = q
+
+    return comm, q, stats

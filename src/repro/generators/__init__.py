@@ -1,0 +1,36 @@
+"""Synthetic workload generators standing in for the paper's inputs."""
+
+from .lfr import LFRGraph, generate_lfr
+from .meshes import generate_banded, generate_grid3d
+from .registry import (
+    DATASETS,
+    SCALES,
+    TABLE2_NAMES,
+    DatasetSpec,
+    dataset,
+    make_graph,
+)
+from .rmat import generate_rmat
+from .smallworld import generate_smallworld
+from .ssca2 import SSCA2Graph, generate_ssca2, weak_scaling_series
+from .webgraph import WebGraph, generate_webgraph
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "LFRGraph",
+    "SCALES",
+    "SSCA2Graph",
+    "TABLE2_NAMES",
+    "WebGraph",
+    "dataset",
+    "generate_banded",
+    "generate_grid3d",
+    "generate_lfr",
+    "generate_rmat",
+    "generate_smallworld",
+    "generate_ssca2",
+    "generate_webgraph",
+    "make_graph",
+    "weak_scaling_series",
+]

@@ -1,0 +1,125 @@
+"""SSCA#2-style synthetic graph generator (GTgraph reimplementation).
+
+The paper's weak-scaling study (§V-B, Table V, Fig. 4) uses the GTgraph
+suite to generate graphs "according to DARPA HPCS SSCA#2": random-sized
+cliques with controllable inter-clique connectivity.  The paper fixes
+the maximum clique size (100) and keeps the inter-clique edge
+probability low "to enforce good community structure", which is why the
+measured modularities in Table V are ~0.9999.
+
+This generator reproduces that model:
+
+* vertices are partitioned into cliques of size uniform in
+  ``[1, max_clique_size]``;
+* every intra-clique edge is present (weight 1);
+* ``inter_clique_fraction`` of the intra edge count is added as random
+  edges between distinct cliques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.edgelist import EdgeList
+
+
+@dataclass(frozen=True)
+class SSCA2Graph:
+    """Generated graph plus its planted clique structure."""
+
+    edges: EdgeList
+    clique_of: np.ndarray  # ground-truth clique id per vertex
+
+    @property
+    def num_cliques(self) -> int:
+        return int(self.clique_of.max()) + 1 if len(self.clique_of) else 0
+
+
+def generate_ssca2(
+    num_vertices: int,
+    max_clique_size: int = 100,
+    inter_clique_fraction: float = 0.01,
+    seed: int = 0,
+) -> SSCA2Graph:
+    """Generate an SSCA#2 graph with ``num_vertices`` vertices.
+
+    ``inter_clique_fraction`` is the number of inter-clique edges as a
+    fraction of the intra-clique edge count (GTgraph's low-probability
+    inter-clique option).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    if max_clique_size < 1:
+        raise ValueError("max_clique_size must be >= 1")
+    if not 0.0 <= inter_clique_fraction:
+        raise ValueError("inter_clique_fraction must be >= 0")
+    rng = np.random.default_rng(seed)
+
+    # Partition vertices into random-size cliques.
+    sizes = []
+    remaining = num_vertices
+    while remaining > 0:
+        s = int(rng.integers(1, max_clique_size + 1))
+        s = min(s, remaining)
+        sizes.append(s)
+        remaining -= s
+    sizes = np.array(sizes, dtype=np.int64)
+    clique_of = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+
+    # Intra-clique edges: all pairs within each clique.
+    us, vs = [], []
+    for start, s in zip(starts, sizes):
+        if s < 2:
+            continue
+        local = np.arange(s, dtype=np.int64)
+        iu, iv = np.triu_indices(s, k=1)
+        us.append(start + local[iu])
+        vs.append(start + local[iv])
+    intra_u = np.concatenate(us) if us else np.empty(0, np.int64)
+    intra_v = np.concatenate(vs) if vs else np.empty(0, np.int64)
+
+    # Inter-clique edges: random endpoint pairs in distinct cliques.
+    n_inter = int(round(inter_clique_fraction * len(intra_u)))
+    inter_u = np.empty(0, np.int64)
+    inter_v = np.empty(0, np.int64)
+    if n_inter > 0 and len(sizes) > 1:
+        # Oversample and keep pairs crossing clique boundaries.
+        cand_u = rng.integers(0, num_vertices, 3 * n_inter)
+        cand_v = rng.integers(0, num_vertices, 3 * n_inter)
+        cross = clique_of[cand_u] != clique_of[cand_v]
+        inter_u = cand_u[cross][:n_inter].astype(np.int64)
+        inter_v = cand_v[cross][:n_inter].astype(np.int64)
+
+    el = EdgeList.from_arrays(
+        num_vertices,
+        np.concatenate([intra_u, inter_u]),
+        np.concatenate([intra_v, inter_v]),
+    )
+    return SSCA2Graph(edges=el, clique_of=clique_of)
+
+
+def weak_scaling_series(
+    base_vertices: int,
+    process_counts: list[int],
+    max_clique_size: int = 100,
+    inter_clique_fraction: float = 0.005,
+    seed: int = 0,
+) -> list[tuple[int, SSCA2Graph]]:
+    """Graphs sized proportionally to the process count (Table V setup).
+
+    Returns ``[(p, graph)]`` with ``n = base_vertices * p`` so the
+    per-process work stays fixed, mirroring the paper's Graph#1-#5.
+    """
+    out = []
+    for i, p in enumerate(process_counts):
+        g = generate_ssca2(
+            base_vertices * p,
+            max_clique_size=max_clique_size,
+            inter_clique_fraction=inter_clique_fraction,
+            seed=seed + i,
+        )
+        out.append((p, g))
+    return out

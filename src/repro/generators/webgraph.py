@@ -1,0 +1,104 @@
+"""Hierarchical web-crawl-like generator.
+
+Stand-in for the paper's web corpora (arabic-2005, webbase-2001,
+sk-2005, uk-2007, web-wiki, web-cc12-PayLevelDomain): pages cluster into
+*hosts* with dense intra-host linkage, while inter-host links follow a
+heavy-tailed popularity distribution.  Louvain finds extremely high
+modularity on such graphs (0.97-0.99 in Table II) and converges in few
+iterations per phase — the behaviour the paper observes for sk-2005
+("relatively low number of iterations per phase").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.edgelist import EdgeList
+
+
+@dataclass(frozen=True)
+class WebGraph:
+    edges: EdgeList
+    host_of: np.ndarray  # planted host id per page
+
+    @property
+    def num_hosts(self) -> int:
+        return int(self.host_of.max()) + 1 if len(self.host_of) else 0
+
+
+def generate_webgraph(
+    num_vertices: int,
+    mean_host_size: int = 30,
+    host_size_exponent: float = 1.8,
+    intra_degree: float = 8.0,
+    inter_fraction: float = 0.03,
+    seed: int = 0,
+) -> WebGraph:
+    """Generate a web-crawl-like graph.
+
+    * hosts have power-law sizes (exponent ``host_size_exponent``),
+      scaled so the mean is ``mean_host_size``;
+    * within a host, pages form a sparse random graph of average degree
+      ``intra_degree`` (plus a spanning path, so hosts are connected);
+    * ``inter_fraction`` of all edges connect pages on different hosts,
+      with destinations drawn preferentially from large hosts
+      (popularity ∝ size).
+    """
+    if num_vertices < 2:
+        raise ValueError("num_vertices must be >= 2")
+    rng = np.random.default_rng(seed)
+
+    # Host sizes: power law scaled to the requested mean.
+    sizes: list[int] = []
+    total = 0
+    lo, hi = max(2, mean_host_size // 5), mean_host_size * 5
+    values = np.arange(lo, hi + 1, dtype=np.float64)
+    probs = values ** (-host_size_exponent)
+    probs /= probs.sum()
+    raw_mean = float((values * probs).sum())
+    scale = mean_host_size / raw_mean
+    while total < num_vertices:
+        s = int(round(scale * rng.choice(values, p=probs)))
+        s = max(2, min(s, num_vertices - total))
+        if num_vertices - total - s == 1:
+            s += 1  # avoid a trailing singleton host
+        sizes.append(s)
+        total += s
+    sizes_arr = np.array(sizes, dtype=np.int64)
+    host_of = np.repeat(np.arange(len(sizes_arr), dtype=np.int64), sizes_arr)
+    starts = np.concatenate([[0], np.cumsum(sizes_arr)[:-1]])
+
+    us, vs = [], []
+    for start, s in zip(starts, sizes_arr):
+        # Spanning path keeps the host connected.
+        path = start + np.arange(s - 1, dtype=np.int64)
+        us.append(path)
+        vs.append(path + 1)
+        # Random intra-host links up to the target average degree.
+        extra = max(0, int(s * intra_degree / 2) - (s - 1))
+        if extra > 0 and s > 2:
+            a = start + rng.integers(0, s, extra)
+            b = start + rng.integers(0, s, extra)
+            keep = a != b
+            us.append(a[keep])
+            vs.append(b[keep])
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+
+    # Inter-host links with popularity-weighted destinations.
+    n_inter = int(inter_fraction * len(u))
+    if n_inter > 0 and len(sizes_arr) > 1:
+        src = rng.integers(0, num_vertices, n_inter).astype(np.int64)
+        dst_host = rng.choice(
+            len(sizes_arr), size=n_inter, p=sizes_arr / sizes_arr.sum()
+        )
+        dst = starts[dst_host] + rng.integers(0, sizes_arr[dst_host])
+        keep = host_of[src] != host_of[dst]
+        u = np.concatenate([u, src[keep]])
+        v = np.concatenate([v, dst[keep].astype(np.int64)])
+
+    return WebGraph(
+        edges=EdgeList.from_arrays(num_vertices, u, v), host_of=host_of
+    )

@@ -1,0 +1,233 @@
+"""Compressed sparse row (CSR) representation of weighted undirected graphs.
+
+This is the storage format the paper uses on every rank (§IV, "Input
+Distribution").  Conventions, chosen to match the Louvain reference
+implementation and kept consistent across the whole library:
+
+* the graph is undirected; every edge ``{u, v}`` with ``u != v`` is
+  stored twice (in ``u``'s row and in ``v``'s row) with the same weight;
+* a self loop ``{u, u}`` is stored **once** in ``u``'s row;
+* the *weighted degree* ``k_u`` is the sum of ``u``'s row weights (the
+  self loop counted once);
+* ``total_weight`` is ``sum_u k_u`` — equal to ``2m`` for loop-free
+  graphs.  This quantity is invariant under Louvain graph coarsening,
+  which is what makes modularity comparable across phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Immutable weighted undirected graph in CSR form.
+
+    Attributes
+    ----------
+    index:
+        ``int64[n + 1]``; row ``u`` occupies ``edges[index[u]:index[u+1]]``.
+    edges:
+        ``int64[nnz]`` neighbour vertex ids.
+    weights:
+        ``float64[nnz]`` edge weights, aligned with ``edges``.
+    """
+
+    index: np.ndarray
+    edges: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.index.ndim != 1 or self.index.dtype != np.int64:
+            raise TypeError("index must be a 1-D int64 array")
+        if self.edges.ndim != 1 or self.edges.dtype != np.int64:
+            raise TypeError("edges must be a 1-D int64 array")
+        if self.weights.shape != self.edges.shape:
+            raise ValueError("weights must align with edges")
+        if self.index[0] != 0 or self.index[-1] != len(self.edges):
+            raise ValueError("index must start at 0 and end at nnz")
+        if np.any(np.diff(self.index) < 0):
+            raise ValueError("index must be non-decreasing")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.index) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Stored adjacency entries (2 per edge + 1 per self loop)."""
+        return len(self.edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (self loops counted once)."""
+        loops = int(np.count_nonzero(self.edges == self._row_ids()))
+        return (self.nnz - loops) // 2 + loops
+
+    def _row_ids(self) -> np.ndarray:
+        """Source vertex id for every stored adjacency entry."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.index)
+        )
+
+    @property
+    def total_weight(self) -> float:
+        """``sum_u k_u`` (a.k.a. ``2m`` for loop-free graphs)."""
+        return float(self.weights.sum())
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degree ``k_u`` for every vertex (float64[n])."""
+        out = np.zeros(self.num_vertices, dtype=np.float64)
+        np.add.at(out, self._row_ids(), self.weights)
+        return out
+
+    def edge_counts(self) -> np.ndarray:
+        """Unweighted degree (row length) for every vertex (int64[n])."""
+        return np.diff(self.index)
+
+    def self_loop_weights(self) -> np.ndarray:
+        """Self-loop weight per vertex (float64[n], zero when absent)."""
+        out = np.zeros(self.num_vertices, dtype=np.float64)
+        rows = self._row_ids()
+        mask = self.edges == rows
+        np.add.at(out, rows[mask], self.weights[mask])
+        return out
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the neighbour ids and weights of vertex ``u``."""
+        lo, hi = self.index[u], self.index[u + 1]
+        return self.edges[lo:hi], self.weights[lo:hi]
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with u <= v."""
+        rows = self._row_ids()
+        mask = rows <= self.edges
+        for u, v, w in zip(rows[mask], self.edges[mask], self.weights[mask]):
+            yield int(u), int(v), float(w)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Each undirected edge once as ``(u[], v[], w[])`` with u <= v."""
+        rows = self._row_ids()
+        mask = rows <= self.edges
+        return rows[mask], self.edges[mask], self.weights[mask]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        num_vertices: int,
+        u: np.ndarray | Iterable[int],
+        v: np.ndarray | Iterable[int],
+        w: np.ndarray | Iterable[float] | None = None,
+        *,
+        combine_duplicates: bool = True,
+    ) -> "CSRGraph":
+        """Build from an undirected edge list (each edge listed once).
+
+        Duplicate ``{u, v}`` pairs have their weights summed (the
+        behaviour graph coarsening relies on).  Self loops are kept as
+        single row entries.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if w is None:
+            w = np.ones(len(u), dtype=np.float64)
+        else:
+            w = np.asarray(w, dtype=np.float64)
+        if not (len(u) == len(v) == len(w)):
+            raise ValueError("u, v, w must have equal length")
+        if len(u) and (u.min() < 0 or v.min() < 0):
+            raise ValueError("vertex ids must be non-negative")
+        if len(u) and max(int(u.max()), int(v.max())) >= num_vertices:
+            raise ValueError(
+                f"edge endpoint exceeds num_vertices={num_vertices}"
+            )
+
+        # Symmetrize: both directions for u != v, one entry for loops.
+        non_loop = u != v
+        src = np.concatenate([u, v[non_loop]])
+        dst = np.concatenate([v, u[non_loop]])
+        ww = np.concatenate([w, w[non_loop]])
+
+        if combine_duplicates and len(src):
+            key = src * np.int64(num_vertices) + dst
+            order = np.argsort(key, kind="stable")
+            key, src, dst, ww = key[order], src[order], dst[order], ww[order]
+            uniq_mask = np.empty(len(key), dtype=bool)
+            uniq_mask[0] = True
+            np.not_equal(key[1:], key[:-1], out=uniq_mask[1:])
+            starts = np.flatnonzero(uniq_mask)
+            ww = np.add.reduceat(ww, starts)
+            src, dst = src[starts], dst[starts]
+        else:
+            order = np.lexsort((dst, src))
+            src, dst, ww = src[order], dst[order], ww[order]
+
+        index = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(index, src + 1, 1)
+        np.cumsum(index, out=index)
+        return CSRGraph(index=index, edges=dst, weights=ww)
+
+    @staticmethod
+    def empty(num_vertices: int) -> "CSRGraph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return CSRGraph(
+            index=np.zeros(num_vertices + 1, dtype=np.int64),
+            edges=np.empty(0, dtype=np.int64),
+            weights=np.empty(0, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on breakage.
+
+        Verifies symmetry (``w(u, v) == w(v, u)``) in addition to the
+        cheap checks done at construction.
+        """
+        if len(self.edges) and (
+            self.edges.min() < 0 or self.edges.max() >= self.num_vertices
+        ):
+            raise ValueError("edge target out of range")
+        rows = self._row_ids()
+        fwd = {}
+        for a, b, w in zip(rows, self.edges, self.weights):
+            fwd[(int(a), int(b))] = fwd.get((int(a), int(b)), 0.0) + float(w)
+        for (a, b), w in fwd.items():
+            if a == b:
+                continue
+            back = fwd.get((b, a))
+            if back is None or abs(back - w) > 1e-9 * max(1.0, abs(w)):
+                raise ValueError(f"asymmetric edge ({a}, {b}): {w} vs {back}")
+
+    def relabel(self, mapping: np.ndarray) -> "CSRGraph":
+        """Return the graph with vertex ``u`` renamed ``mapping[u]``.
+
+        ``mapping`` must be a permutation of ``range(n)``.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if len(mapping) != self.num_vertices:
+            raise ValueError("mapping length must equal num_vertices")
+        if len(np.unique(mapping)) != self.num_vertices:
+            raise ValueError("mapping must be a permutation")
+        eu, ev, ew = self.edge_array()
+        return CSRGraph.from_edges(
+            self.num_vertices, mapping[eu], mapping[ev], ew
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(n={self.num_vertices}, edges={self.num_edges}, "
+            f"W={self.total_weight:.6g})"
+        )

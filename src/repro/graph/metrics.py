@@ -1,0 +1,78 @@
+"""Descriptive graph statistics used by the dataset registry and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (for registry documentation)."""
+
+    num_vertices: int
+    num_edges: int
+    total_weight: float
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    degree_cv: float  # coefficient of variation — skew indicator
+    num_isolated: int
+    num_self_loops: int
+
+    def format(self) -> str:
+        return (
+            f"n={self.num_vertices} m={self.num_edges} "
+            f"deg[min={self.min_degree} mean={self.mean_degree:.2f} "
+            f"max={self.max_degree} cv={self.degree_cv:.2f}] "
+            f"isolated={self.num_isolated} loops={self.num_self_loops}"
+        )
+
+
+def graph_stats(g: CSRGraph) -> GraphStats:
+    counts = g.edge_counts()
+    rows = np.repeat(np.arange(g.num_vertices, dtype=np.int64), counts)
+    loops = int(np.count_nonzero(g.edges == rows))
+    mean = float(counts.mean()) if len(counts) else 0.0
+    std = float(counts.std()) if len(counts) else 0.0
+    return GraphStats(
+        num_vertices=g.num_vertices,
+        num_edges=g.num_edges,
+        total_weight=g.total_weight,
+        min_degree=int(counts.min()) if len(counts) else 0,
+        max_degree=int(counts.max()) if len(counts) else 0,
+        mean_degree=mean,
+        degree_cv=(std / mean) if mean > 0 else 0.0,
+        num_isolated=int(np.count_nonzero(counts == 0)),
+        num_self_loops=loops,
+    )
+
+
+def connected_components(g: CSRGraph) -> np.ndarray:
+    """Component label per vertex (BFS; labels are the min vertex id)."""
+    n = g.num_vertices
+    label = np.full(n, -1, dtype=np.int64)
+    for seed in range(n):
+        if label[seed] != -1:
+            continue
+        label[seed] = seed
+        frontier = [seed]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                nbrs, _ = g.neighbors(u)
+                for v in nbrs:
+                    if label[v] == -1:
+                        label[v] = seed
+                        nxt.append(int(v))
+            frontier = nxt
+    return label
+
+
+def is_connected(g: CSRGraph) -> bool:
+    if g.num_vertices == 0:
+        return True
+    return bool(np.all(connected_components(g) == 0))

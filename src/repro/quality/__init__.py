@@ -1,0 +1,10 @@
+"""Quality assessment against ground truth (paper §V-D)."""
+
+from .fscore import QualityScores, best_match_scores
+from .nmi import normalized_mutual_information
+
+__all__ = [
+    "QualityScores",
+    "best_match_scores",
+    "normalized_mutual_information",
+]

@@ -1,0 +1,65 @@
+"""Simulated SPMD/MPI runtime substrate.
+
+This subpackage replaces the MPI + Cray Aries stack the paper ran on:
+ranks are threads, messages are Python objects routed through mailboxes,
+and time is an analytic LogGP-style model (see DESIGN.md §2 for the
+substitution rationale).
+"""
+
+from .comm import (
+    Communicator,
+    Request,
+    SubCommunicator,
+    World,
+    split_communicator,
+    wait_all,
+)
+from .errors import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    InvalidRankError,
+    RankAborted,
+    RankFailedError,
+    RuntimeSimError,
+)
+from .executor import SPMDResult, run_spmd
+from .payload import message_bytes, nbytes
+from .perfmodel import (
+    CORI_HASWELL,
+    CORI_HASWELL_SHARED,
+    FREE,
+    PRESETS,
+    SLOW_NETWORK,
+    MachineModel,
+    OpenMPModel,
+)
+from .tracing import CATEGORIES, RankTrace, TraceReport
+
+__all__ = [
+    "CATEGORIES",
+    "CORI_HASWELL",
+    "CORI_HASWELL_SHARED",
+    "FREE",
+    "PRESETS",
+    "SLOW_NETWORK",
+    "CollectiveMismatchError",
+    "CommTimeoutError",
+    "Communicator",
+    "InvalidRankError",
+    "MachineModel",
+    "OpenMPModel",
+    "RankAborted",
+    "RankFailedError",
+    "RankTrace",
+    "Request",
+    "RuntimeSimError",
+    "SPMDResult",
+    "SubCommunicator",
+    "TraceReport",
+    "World",
+    "message_bytes",
+    "nbytes",
+    "run_spmd",
+    "split_communicator",
+    "wait_all",
+]

@@ -1,0 +1,789 @@
+"""MPI-like communicator for the simulated SPMD runtime.
+
+The paper's implementation is an MPI+OpenMP SPMD program.  This module
+provides the same programming model inside one Python process: ``p``
+ranks run as threads, each holding a :class:`Communicator`, and talk via
+
+* buffered point-to-point messages (``send``/``recv``/``sendrecv``), and
+* synchronizing collectives (``barrier``, ``bcast``, ``reduce``,
+  ``allreduce``, ``gather``, ``allgather``, ``scatter``, ``alltoall``,
+  ``scan``/``exscan``) plus the MPI-3-style ``neighbor_alltoall`` the
+  paper lists as future work (§VI).
+
+Every operation advances the rank's *virtual clock* according to the
+:class:`~repro.runtime.perfmodel.MachineModel` and attributes the time to
+a trace category (see :mod:`repro.runtime.tracing`), so the benchmark
+harness can report both modelled execution times and the §V-A style
+time breakdown.
+
+Semantics notes (documented deviations from real MPI):
+
+* sends are buffered and never block — message matching is FIFO per
+  (source, tag) pair, like MPI's non-overtaking rule;
+* all collectives are synchronizing (clocks align to the latest arriving
+  rank before the collective's cost is added), which is the conservative
+  model for a blocking implementation;
+* ranks must call collectives in the same order with the same name, as
+  MPI requires; mismatches raise
+  :class:`~repro.runtime.errors.CollectiveMismatchError` instead of the
+  undefined behaviour real MPI gives you.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    InvalidRankError,
+    RankAborted,
+)
+from .payload import message_bytes
+from .perfmodel import MachineModel
+from .tracing import RankTrace
+
+#: Reduction operators accepted by ``reduce``/``allreduce``/``scan``.
+_REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "prod": lambda a, b: a * b,
+    "land": lambda a, b: bool(a) and bool(b),
+    "lor": lambda a, b: bool(a) or bool(b),
+}
+
+
+def _resolve_op(op: str | Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    if callable(op):
+        return op
+    try:
+        return _REDUCE_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction op {op!r}; expected one of {sorted(_REDUCE_OPS)}"
+        ) from None
+
+
+def _fold(values: Sequence[Any], op: Callable[[Any, Any], Any]) -> Any:
+    acc = values[0]
+    for v in values[1:]:
+        acc = op(acc, v)
+    return acc
+
+
+class _Rendezvous:
+    """Reusable all-ranks rendezvous used to implement collectives.
+
+    Each collective call is one *generation*.  Every rank deposits a
+    value; the last rank to arrive runs a ``finalize`` callback once,
+    producing a per-rank output list; every rank then picks up its slot.
+    Results are kept per generation (refcounted) so a fast rank starting
+    the next collective cannot clobber a slow rank's pending result.
+    """
+
+    def __init__(self, size: int, world: "World"):
+        self._size = size
+        self._world = world
+        self._cv = threading.Condition()
+        self._gen = 0
+        self._arrived = 0
+        self._slots: list[Any] = [None] * size
+        self._op_name: str | None = None
+        self._results: dict[int, list[Any]] = {}
+        self._refs: dict[int, int] = {}
+
+    def exchange(
+        self,
+        rank: int,
+        op_name: str,
+        deposit: Any,
+        finalize: Callable[[list[Any]], list[Any]],
+        timeout: float,
+    ) -> Any:
+        with self._cv:
+            self._world.check_abort()
+            gen = self._gen
+            if self._arrived == 0:
+                self._op_name = op_name
+            elif self._op_name != op_name:
+                exc = CollectiveMismatchError(
+                    f"rank {rank} called {op_name!r} while other ranks are in "
+                    f"{self._op_name!r} (generation {gen})"
+                )
+                self._world.abort(exc)
+                self._cv.notify_all()
+                raise exc
+            self._slots[rank] = deposit
+            self._arrived += 1
+            if self._arrived == self._size:
+                outs = finalize(self._slots)
+                if len(outs) != self._size:
+                    raise AssertionError(
+                        f"finalize for {op_name!r} returned {len(outs)} outputs "
+                        f"for {self._size} ranks"
+                    )
+                self._results[gen] = outs
+                self._refs[gen] = self._size
+                self._slots = [None] * self._size
+                self._arrived = 0
+                self._gen += 1
+                self._cv.notify_all()
+            else:
+                while self._gen == gen:
+                    if not self._cv.wait(timeout):
+                        exc = CommTimeoutError(
+                            f"rank {rank} timed out after {timeout}s inside "
+                            f"collective {op_name!r} (generation {gen}); "
+                            f"only {self._arrived}/{self._size} ranks arrived "
+                            "— likely a deadlock in the SPMD program"
+                        )
+                        self._world.abort(exc)
+                        self._cv.notify_all()
+                        raise exc
+                    self._world.check_abort()
+            out = self._results[gen][rank]
+            self._refs[gen] -= 1
+            if self._refs[gen] == 0:
+                del self._results[gen]
+                del self._refs[gen]
+            return out
+
+    def wake_all(self) -> None:
+        with self._cv:
+            self._cv.notify_all()
+
+
+class World:
+    """Shared state for one SPMD run: mailboxes, rendezvous, abort flag."""
+
+    def __init__(self, size: int, machine: MachineModel, timeout: float = 120.0):
+        if size < 1:
+            raise InvalidRankError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.machine = machine
+        self.timeout = timeout
+        self._abort_exc: BaseException | None = None
+        # One mailbox per destination rank: (source, tag) -> FIFO of
+        # (payload, arrival_time, nbytes).
+        self._boxes: list[dict[tuple[int, int], deque]] = [
+            defaultdict(deque) for _ in range(size)
+        ]
+        self._box_cvs = [threading.Condition() for _ in range(size)]
+        self.rendezvous = _Rendezvous(size, self)
+        self._sub_lock = threading.Lock()
+        self._sub_rendezvous: dict[tuple, _Rendezvous] = {}
+
+    # -- abort handling -------------------------------------------------
+    def abort(self, exc: BaseException) -> None:
+        """Record the first failure and wake every blocked rank."""
+        if self._abort_exc is None:
+            self._abort_exc = exc
+        for cv in self._box_cvs:
+            with cv:
+                cv.notify_all()
+        self.rendezvous.wake_all()
+        with self._sub_lock:
+            subs = list(self._sub_rendezvous.values())
+        for r in subs:
+            r.wake_all()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort_exc is not None
+
+    def check_abort(self) -> None:
+        if self._abort_exc is not None:
+            raise RankAborted(
+                f"world aborted by another rank: {self._abort_exc!r}"
+            )
+
+    # -- mailbox plumbing ------------------------------------------------
+    def post(self, dest: int, source: int, tag: int, item: tuple) -> None:
+        cv = self._box_cvs[dest]
+        with cv:
+            self._boxes[dest][(source, tag)].append(item)
+            cv.notify_all()
+
+    def take(self, dest: int, source: int, tag: int, timeout: float) -> tuple:
+        cv = self._box_cvs[dest]
+        key = (source, tag)
+        with cv:
+            while not self._boxes[dest][key]:
+                self.check_abort()
+                if not cv.wait(timeout):
+                    exc = CommTimeoutError(
+                        f"rank {dest} timed out after {timeout}s waiting for a "
+                        f"message from rank {source} tag {tag}"
+                    )
+                    self.abort(exc)
+                    raise exc
+            self.check_abort()
+            return self._boxes[dest][key].popleft()
+
+    def probe_any(self, dest: int) -> bool:
+        """True if any message is waiting for ``dest`` (test helper)."""
+        with self._box_cvs[dest]:
+            return any(self._boxes[dest].values())
+
+    def probe(self, dest: int, source: int, tag: int) -> bool:
+        """True if a matching message is already queued for ``dest``."""
+        with self._box_cvs[dest]:
+            return bool(self._boxes[dest][(source, tag)])
+
+    def subgroup_rendezvous(
+        self, members: tuple[int, ...], group_id: int
+    ) -> _Rendezvous:
+        """Shared rendezvous for a subgroup (one instance per group)."""
+        with self._sub_lock:
+            key = (members, group_id)
+            if key not in self._sub_rendezvous:
+                self._sub_rendezvous[key] = _Rendezvous(len(members), self)
+            return self._sub_rendezvous[key]
+
+    def communicator(self, rank: int) -> "Communicator":
+        return Communicator(self, rank)
+
+
+class Communicator:
+    """Per-rank handle: messaging, collectives, and virtual-clock charging."""
+
+    def __init__(self, world: World, rank: int):
+        if not 0 <= rank < world.size:
+            raise InvalidRankError(f"rank {rank} out of range [0, {world.size})")
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self.machine = world.machine
+        self.clock = 0.0
+        self.trace = RankTrace(rank=rank)
+
+    # ------------------------------------------------------------------
+    # Local cost charging
+    # ------------------------------------------------------------------
+    def charge(self, category: str, dt: float) -> None:
+        """Advance this rank's virtual clock by ``dt`` seconds."""
+        self.trace.charge(category, dt, at=self.clock)
+        self.clock += dt
+
+    def charge_compute(self, ops: float, category: str = "compute") -> None:
+        """Charge ``ops`` edge/vertex operations of local compute."""
+        self.charge(category, self.machine.compute_cost(ops))
+
+    def charge_io(self, nbytes: float) -> None:
+        """Charge reading ``nbytes`` from the parallel filesystem."""
+        self.charge("io", self.machine.io_cost(nbytes))
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0, category: str = "other") -> None:
+        """Buffered send; never blocks."""
+        self._check_peer(dest)
+        n = message_bytes(obj)
+        # Sender pays the injection overhead (cheaper when the peer is
+        # on the same node); the payload arrives after the full
+        # alpha-beta transfer completes.
+        alpha = self.machine.p2p_alpha(self.rank, dest)
+        self.charge(category, alpha)
+        arrival = self.clock + self.machine.beta * n
+        self.trace.record_send(n)
+        self.world.post(dest, self.rank, tag, (obj, arrival, n))
+
+    def recv(self, source: int, tag: int = 0, category: str = "other") -> Any:
+        """Blocking receive of the next matching message (FIFO order)."""
+        self._check_peer(source)
+        obj, arrival, n = self.world.take(
+            self.rank, source, tag, self.world.timeout
+        )
+        self.trace.record_recv(n)
+        # Time inside recv = wait for arrival (if any) + receive overhead.
+        target = max(self.clock, arrival) + self.machine.p2p_alpha(
+            source, self.rank
+        )
+        self.charge(category, target - self.clock)
+        return obj
+
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, category: str = "other"
+    ) -> "Request":
+        """Nonblocking send.  The simulator buffers sends, so the
+        returned request is already complete; it exists so SPMD code
+        written in the MPI isend/irecv style runs unchanged."""
+        self.send(obj, dest, tag=tag, category=category)
+        return Request(comm=self, kind="send")
+
+    def irecv(
+        self, source: int, tag: int = 0, category: str = "other"
+    ) -> "Request":
+        """Nonblocking receive: returns a :class:`Request`; the message
+        is consumed at ``wait()`` (or a successful ``test()``)."""
+        self._check_peer(source)
+        return Request(
+            comm=self, kind="recv", source=source, tag=tag, category=category
+        )
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+        category: str = "other",
+    ) -> Any:
+        self.send(obj, dest, tag=sendtag, category=category)
+        return self.recv(source, tag=recvtag, category=category)
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise InvalidRankError(
+                f"peer rank {peer} out of range [0, {self.size})"
+            )
+
+    def split(self, color: int, key: int | None = None) -> "SubCommunicator":
+        """MPI_Comm_split over this communicator (collective)."""
+        return split_communicator(self, color, key)
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def _collective(
+        self,
+        name: str,
+        deposit: Any,
+        finalize: Callable[[list[Any]], list[Any]],
+        category: str,
+    ) -> Any:
+        """Run one synchronizing collective and apply its clock update.
+
+        ``finalize`` receives the per-rank deposits ``[(value, clock)]``
+        and must return per-rank ``(result, new_clock)`` pairs.
+        """
+        self.trace.record_collective(name)
+        out, new_clock = self.world.rendezvous.exchange(
+            self.rank,
+            name,
+            (deposit, self.clock),
+            finalize,
+            self.world.timeout,
+        )
+        self.charge(category, max(new_clock - self.clock, 0.0))
+        return out
+
+    def barrier(self, category: str = "other") -> None:
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            t = max(c for _, c in slots) + m.barrier_cost(p)
+            return [(None, t)] * p
+
+        self._collective("barrier", None, finalize, category)
+
+    def bcast(self, obj: Any, root: int = 0, category: str = "other") -> Any:
+        self._check_peer(root)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            value = slots[root][0]
+            t = max(c for _, c in slots) + m.bcast_cost(message_bytes(value), p)
+            return [(value, t)] * p
+
+        return self._collective(
+            "bcast", obj if self.rank == root else None, finalize, category
+        )
+
+    def reduce(
+        self,
+        value: Any,
+        op: str | Callable[[Any, Any], Any] = "sum",
+        root: int = 0,
+        category: str = "other",
+    ) -> Any:
+        """Reduce to ``root``; other ranks receive ``None``."""
+        self._check_peer(root)
+        fn = _resolve_op(op)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            total = _fold(values, fn)
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.reduce_cost(n, p)
+            return [(total if r == root else None, t) for r in range(p)]
+
+        return self._collective("reduce", value, finalize, category)
+
+    def allreduce(
+        self,
+        value: Any,
+        op: str | Callable[[Any, Any], Any] = "sum",
+        category: str = "allreduce",
+    ) -> Any:
+        fn = _resolve_op(op)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            total = _fold(values, fn)
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.allreduce_cost(n, p)
+            return [(total, t)] * p
+
+        return self._collective("allreduce", value, finalize, category)
+
+    def gather(self, value: Any, root: int = 0, category: str = "other") -> list | None:
+        self._check_peer(root)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.gather_cost(n, p)
+            return [(list(values) if r == root else None, t) for r in range(p)]
+
+        return self._collective("gather", value, finalize, category)
+
+    def allgather(self, value: Any, category: str = "other") -> list:
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.allgather_cost(n, p)
+            return [(list(values), t)] * p
+
+        return self._collective("allgather", value, finalize, category)
+
+    def scatter(
+        self, values: Sequence[Any] | None, root: int = 0, category: str = "other"
+    ) -> Any:
+        """Root provides one value per rank; each rank receives its own."""
+        self._check_peer(root)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            send = slots[root][0]
+            if send is None or len(send) != p:
+                raise ValueError(
+                    f"scatter root must supply exactly {p} values, got "
+                    f"{None if send is None else len(send)}"
+                )
+            n = max(message_bytes(v) for v in send)
+            t = max(c for _, c in slots) + m.gather_cost(n, p)
+            return [(send[r], t) for r in range(p)]
+
+        return self._collective(
+            "scatter", values if self.rank == root else None, finalize, category
+        )
+
+    def alltoall(self, values: Sequence[Any], category: str = "other") -> list:
+        """Personalized all-to-all: rank ``i`` sends ``values[j]`` to ``j``.
+
+        Cost per rank follows the pairwise-exchange alltoallv model with
+        that rank's actual send/receive volumes, so an imbalanced
+        exchange (a few heavy ghost owners) costs more on the heavy
+        ranks — the effect the paper's §V-A profile attributes waiting
+        time to.
+        """
+        if len(values) != self.size:
+            raise ValueError(
+                f"alltoall needs one value per rank ({self.size}), got "
+                f"{len(values)}"
+            )
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            mats = [v for v, _ in slots]
+            t0 = max(c for _, c in slots)
+            outs = []
+            for r in range(p):
+                received = [mats[s][r] for s in range(p)]
+                sent_bytes = sum(
+                    message_bytes(mats[r][d]) for d in range(p) if d != r
+                )
+                recv_bytes = sum(
+                    message_bytes(mats[s][r]) for s in range(p) if s != r
+                )
+                t = t0 + m.alltoallv_cost(sent_bytes, recv_bytes, p, rank=r)
+                outs.append((received, t))
+            return outs
+
+        out = self._collective("alltoall", list(values), finalize, category)
+        for d, v in enumerate(values):
+            if d != self.rank:
+                self.trace.record_send(message_bytes(v))
+        for s, v in enumerate(out):
+            if s != self.rank:
+                self.trace.record_recv(message_bytes(v))
+        return out
+
+    def neighbor_alltoall(
+        self, payloads: dict[int, Any], category: str = "other"
+    ) -> dict[int, Any]:
+        """Sparse personalized exchange (MPI-3 neighbourhood collective).
+
+        Each rank supplies ``{dest: payload}`` for its actual neighbours
+        only; latency scales with the neighbourhood degree instead of
+        ``p - 1`` (the optimization the paper proposes in §VI).
+        Returns ``{source: payload}``.
+        """
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            mats = [v for v, _ in slots]
+            t0 = max(c for _, c in slots)
+            outs = []
+            for r in range(p):
+                received = {
+                    s: mats[s][r]
+                    for s in range(p)
+                    if s != r and r in mats[s]
+                }
+                sent_bytes = sum(
+                    message_bytes(v) for d, v in mats[r].items() if d != r
+                )
+                recv_bytes = sum(message_bytes(v) for v in received.values())
+                degree = len([d for d in mats[r] if d != r]) + len(received)
+                t = t0 + m.neighbor_alltoallv_cost(sent_bytes, recv_bytes, degree)
+                outs.append((received, t))
+            return outs
+
+        for d in payloads:
+            self._check_peer(d)
+        out = self._collective(
+            "neighbor_alltoall", dict(payloads), finalize, category
+        )
+        for d, v in payloads.items():
+            if d != self.rank:
+                self.trace.record_send(message_bytes(v))
+        for v in out.values():
+            self.trace.record_recv(message_bytes(v))
+        return out
+
+    def scan(
+        self,
+        value: Any,
+        op: str | Callable[[Any, Any], Any] = "sum",
+        category: str = "other",
+    ) -> Any:
+        """Inclusive prefix reduction over ranks 0..self.rank."""
+        fn = _resolve_op(op)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.allreduce_cost(n, p)
+            outs, acc = [], None
+            for r in range(p):
+                acc = values[r] if r == 0 else fn(acc, values[r])
+                outs.append((acc, t))
+            return outs
+
+        return self._collective("scan", value, finalize, category)
+
+    def exscan(
+        self,
+        value: Any,
+        op: str | Callable[[Any, Any], Any] = "sum",
+        identity: Any = 0,
+        category: str = "other",
+    ) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``identity``.
+
+        This is the primitive behind the global renumbering step of the
+        distributed graph reconstruction (§IV-A step 3).
+        """
+        fn = _resolve_op(op)
+        m = self.machine
+        p = self.size
+
+        def finalize(slots):
+            values = [v for v, _ in slots]
+            n = max(message_bytes(v) for v in values)
+            t = max(c for _, c in slots) + m.allreduce_cost(n, p)
+            outs, acc = [], identity
+            for r in range(p):
+                outs.append((acc, t))
+                acc = values[r] if r == 0 else fn(acc, values[r])
+            return outs
+
+        return self._collective("exscan", value, finalize, category)
+
+
+class SubCommunicator(Communicator):
+    """Communicator over a subgroup of ranks (result of ``split``).
+
+    Ranks are renumbered ``0..group_size-1`` in the order given by the
+    split key.  Point-to-point goes through the parent's mailboxes in a
+    private tag space; collectives run on a dedicated rendezvous, so a
+    subgroup collective can overlap freely with other subgroups (the
+    property real MPI sub-communicators provide).
+    """
+
+    #: Tag-space offset isolating subcommunicator traffic.
+    _TAG_BASE = 1 << 40
+
+    def __init__(
+        self,
+        parent: Communicator,
+        members: list[int],
+        group_id: int,
+        rendezvous: _Rendezvous,
+    ):
+        self.parent = parent
+        self.world = parent.world
+        self.machine = parent.machine
+        self.members = list(members)
+        self.rank = self.members.index(parent.rank)
+        self.size = len(self.members)
+        self.trace = parent.trace  # charges flow to the parent's trace
+        self._group_id = group_id
+        self._rendezvous = rendezvous
+
+    # Clock is shared with the parent: one rank, one timeline.
+    @property
+    def clock(self) -> float:
+        return self.parent.clock
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self.parent.clock = value
+
+    def _tag_of(self, tag: int) -> int:
+        if tag < 0 or tag >= self._TAG_BASE:
+            raise ValueError(f"tag {tag} out of range for subcommunicator")
+        return self._TAG_BASE + self._group_id * (self._TAG_BASE // 4096) + tag
+
+    def send(self, obj: Any, dest: int, tag: int = 0, category: str = "other") -> None:
+        self._check_peer(dest)
+        self.parent.send(
+            obj, self.members[dest], tag=self._tag_of(tag), category=category
+        )
+
+    def recv(self, source: int, tag: int = 0, category: str = "other") -> Any:
+        self._check_peer(source)
+        return self.parent.recv(
+            self.members[source], tag=self._tag_of(tag), category=category
+        )
+
+    def _collective(
+        self,
+        name: str,
+        deposit: Any,
+        finalize: Callable[[list[Any]], list[Any]],
+        category: str,
+    ) -> Any:
+        self.trace.record_collective(name)
+        out, new_clock = self._rendezvous.exchange(
+            self.rank,
+            name,
+            (deposit, self.clock),
+            finalize,
+            self.world.timeout,
+        )
+        self.charge(category, max(new_clock - self.clock, 0.0))
+        return out
+
+
+def split_communicator(
+    comm: Communicator, color: int, key: int | None = None
+) -> SubCommunicator:
+    """MPI_Comm_split: partition ranks by ``color`` into subgroups.
+
+    Collective over ``comm``.  Ranks sharing a color form one
+    subcommunicator, ordered by ``(key, world rank)`` (``key`` defaults
+    to the world rank).  Colors may be any integers; every rank must
+    participate (there is no ``MPI_UNDEFINED`` — pass a unique color
+    for a singleton group instead).
+    """
+    key = comm.rank if key is None else key
+    triples = comm.allgather((color, key, comm.rank), category="other")
+    members = sorted(
+        (k, r) for c, k, r in triples if c == color
+    )
+    member_ranks = [r for _, r in members]
+    # Deterministic group id shared by the group's members: dense index
+    # of the color among all colors present.
+    colors = sorted(set(c for c, _, _ in triples))
+    group_id = colors.index(color)
+    # One rendezvous per group, created consistently on every member via
+    # a world-level registry keyed by the split generation + group.
+    rendezvous = comm.world.subgroup_rendezvous(
+        tuple(member_ranks), group_id
+    )
+    return SubCommunicator(comm, member_ranks, group_id, rendezvous)
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py-style).
+
+    ``wait()`` blocks until completion and returns the received object
+    (``None`` for sends); ``test()`` returns ``(done, value)`` without
+    blocking.  A request completes at most once; further calls return
+    the cached outcome.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        kind: str,
+        source: int = -1,
+        tag: int = 0,
+        category: str = "other",
+    ):
+        self._comm = comm
+        self._kind = kind
+        self._source = source
+        self._tag = tag
+        self._category = category
+        self._done = kind == "send"
+        self._value: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(
+                self._source, tag=self._tag, category=self._category
+            )
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        if self._done:
+            return True, self._value
+        if self._comm.world.probe(
+            self._comm.rank, self._source, self._tag
+        ):
+            return True, self.wait()
+        return False, None
+
+
+def wait_all(requests: Sequence["Request"]) -> list[Any]:
+    """Wait for every request; returns their values in order."""
+    return [r.wait() for r in requests]
+
+
+def iter_ranks(size: int) -> Iterable[int]:
+    """Convenience: ``range(size)`` with validation (used in examples)."""
+    if size < 1:
+        raise InvalidRankError(f"size must be >= 1, got {size}")
+    return range(size)

@@ -1,0 +1,60 @@
+"""Error types raised by the simulated SPMD runtime.
+
+The runtime executes ``p`` ranks as cooperating threads.  Failures on one
+rank must not leave the remaining ranks blocked inside a collective or a
+``recv``; the executor converts the first failure into a world-wide abort,
+and every other rank observes :class:`RankAborted` at its next
+communication call.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeSimError(Exception):
+    """Base class for all simulated-runtime errors."""
+
+
+class RankFailedError(RuntimeSimError):
+    """Raised by the executor when one or more ranks raised an exception.
+
+    Attributes
+    ----------
+    rank:
+        The lowest-numbered rank that failed.
+    causes:
+        Mapping of rank -> exception for every failed rank.
+    """
+
+    def __init__(self, causes: dict[int, BaseException]):
+        self.causes = dict(causes)
+        self.rank = min(self.causes) if self.causes else -1
+        first = self.causes.get(self.rank)
+        super().__init__(
+            f"{len(self.causes)} rank(s) failed; first failure on rank "
+            f"{self.rank}: {first!r}"
+        )
+
+
+class RankAborted(RuntimeSimError):
+    """Raised inside a rank when another rank has failed (world abort)."""
+
+
+class CollectiveMismatchError(RuntimeSimError):
+    """Raised when ranks disagree on which collective they are executing.
+
+    Real MPI has undefined behaviour here; the simulator detects the bug
+    and reports it deterministically instead.
+    """
+
+
+class CommTimeoutError(RuntimeSimError):
+    """Raised when a blocking operation exceeds the configured timeout.
+
+    A timeout in the simulator almost always indicates a deadlock in the
+    SPMD program under test (e.g. mismatched send/recv), so the message
+    carries enough context to locate it.
+    """
+
+
+class InvalidRankError(RuntimeSimError, ValueError):
+    """Raised when a source/destination/root rank is out of range."""

@@ -1,0 +1,147 @@
+"""SPMD executor: run one function on ``p`` simulated ranks.
+
+Usage mirrors ``mpiexec -n p python script.py``::
+
+    def main(comm, graph_parts):
+        part = graph_parts[comm.rank]
+        ...
+        return comm.allreduce(local_value)
+
+    result = run_spmd(8, main, graph_parts)
+    result.values      # per-rank return values
+    result.elapsed     # modelled execution time (max virtual clock)
+    result.trace       # per-category time/message breakdown
+
+Each rank runs in its own thread.  The machine has no real parallelism
+requirement — ranks spend their lives exchanging small Python objects —
+so thread scheduling only affects wall time, never the modelled time or
+the results (the algorithms are deterministic given their seeds).
+
+Failure semantics: the first exception on any rank aborts the world;
+other ranks observe :class:`~repro.runtime.errors.RankAborted` at their
+next communication call, and the executor re-raises a single
+:class:`~repro.runtime.errors.RankFailedError` carrying every original
+(non-secondary) failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .comm import Communicator, World
+from .errors import RankAborted, RankFailedError
+from .perfmodel import CORI_HASWELL, MachineModel
+from .tracing import TraceReport
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one :func:`run_spmd` call."""
+
+    values: list[Any]
+    clocks: list[float]
+    trace: TraceReport
+    machine: MachineModel
+    size: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.size:
+            self.size = len(self.values)
+
+    @property
+    def elapsed(self) -> float:
+        """Modelled execution time: the latest rank's virtual clock."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def value(self) -> Any:
+        """Rank 0's return value (convenient for replicated results)."""
+        return self.values[0]
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineModel = CORI_HASWELL,
+    timeout: float = 300.0,
+    trace_events: bool = False,
+    **kwargs: Any,
+) -> SPMDResult:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (the ``-n`` of ``mpiexec``).
+    fn:
+        The SPMD program.  Receives a :class:`Communicator` as its first
+        argument; everything else is passed through unchanged, so
+        rank-local data is usually selected via ``args[comm.rank]``.
+    machine:
+        Performance-model constants; defaults to the Cori Haswell preset.
+    timeout:
+        Per-blocking-operation timeout in real seconds; exceeding it is
+        treated as a deadlock in the program under test.
+    trace_events:
+        Record per-rank virtual-time timelines, enabling
+        ``result.trace.to_chrome_trace()`` (Perfetto-compatible export).
+    """
+    world = World(size, machine, timeout=timeout)
+    comms: list[Communicator] = [world.communicator(r) for r in range(size)]
+    if trace_events:
+        for c in comms:
+            c.trace.enable_events()
+    values: list[Any] = [None] * size
+    failures: dict[int, BaseException] = {}
+    lock = threading.Lock()
+
+    if size == 1:
+        # Fast path: no threads needed, and failures propagate natively.
+        values[0] = fn(comms[0], *args, **kwargs)
+        return SPMDResult(
+            values=values,
+            clocks=[comms[0].clock],
+            trace=TraceReport.merge([comms[0].trace]),
+            machine=machine,
+        )
+
+    def runner(rank: int) -> None:
+        try:
+            values[rank] = fn(comms[rank], *args, **kwargs)
+        except RankAborted as exc:
+            # Secondary failure: this rank was a victim, not the cause.
+            with lock:
+                failures.setdefault(rank, exc)
+        except BaseException as exc:  # noqa: BLE001 - must not hang peers
+            with lock:
+                failures[rank] = exc
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 2)
+        if t.is_alive():
+            world.abort(TimeoutError(f"thread {t.name} failed to finish"))
+    for t in threads:
+        t.join(timeout=5.0)
+
+    if failures:
+        primary = {
+            r: e for r, e in failures.items() if not isinstance(e, RankAborted)
+        }
+        raise RankFailedError(primary or failures)
+
+    return SPMDResult(
+        values=values,
+        clocks=[c.clock for c in comms],
+        trace=TraceReport.merge([c.trace for c in comms]),
+        machine=machine,
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for ASCII plotting."""
+
+import pytest
+
+from repro.bench.ascii_plot import MARKERS, ascii_plot, sparkline
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_markers(self):
+        out = ascii_plot(
+            {
+                "a": [(1, 1), (2, 2), (3, 3)],
+                "b": [(1, 3), (2, 2.5), (3, 1)],
+            },
+            title="test",
+        )
+        assert "test" in out
+        assert MARKERS[0] in out
+        assert MARKERS[1] in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot(
+            {"s": [(1, 10), (100, 1)]},
+            xlabel="procs", ylabel="seconds",
+        )
+        assert "x: procs" in out
+        assert "y: seconds" in out
+
+    def test_log_scales(self):
+        out = ascii_plot(
+            {"s": [(16, 100.0), (4096, 1.0)]}, logx=True, logy=True
+        )
+        # End labels are de-logged.
+        assert "16" in out
+        assert "4.1e+03" in out or "4096" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 1)]}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(1, -1)]}, logy=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_flat_series_ok(self):
+        out = ascii_plot({"s": [(1, 5), (2, 5)]})
+        assert "o" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 5
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert s[0] == " "
+        assert s[-1] == "█"
+
+    def test_constant(self):
+        s = sparkline([3, 3, 3])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_resampling_caps_width(self):
+        s = sparkline(list(range(1000)), width=40)
+        assert len(s) <= 40

@@ -1,0 +1,83 @@
+"""Unit tests for the strong-scaling extrapolation model."""
+
+import pytest
+
+from repro.bench.extrapolate import ScalingModel, calibrate, observe_run
+from repro.core import run_louvain
+from repro.generators import dataset, make_graph
+from repro.runtime import CORI_HASWELL
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_graph("com-orkut", scale="tiny")
+    machine = CORI_HASWELL.scaled(dataset("com-orkut").edge_scale_factor(g))
+    return g, machine
+
+
+@pytest.fixture(scope="module")
+def model(workload):
+    g, machine = workload
+    return calibrate(g, machine=machine, p_low=2, p_high=8)
+
+
+class TestCalibrate:
+    def test_anchored_at_high_reference(self, workload, model):
+        g, machine = workload
+        sim = run_louvain(g, 8, machine=machine).elapsed
+        assert model.predict(8) == pytest.approx(sim, rel=0.05)
+
+    def test_tracks_simulation_nearby(self, workload, model):
+        g, machine = workload
+        for p in (2, 4, 16):
+            sim = run_louvain(g, p, machine=machine).elapsed
+            assert model.predict(p) == pytest.approx(sim, rel=0.6), p
+
+    def test_positive_parameters(self, model):
+        assert model.compute_ops > 0
+        assert model.volume_inf > 0
+        assert model.alltoall_rounds > 0
+        assert model.allreduce_rounds > 0
+
+    def test_invalid_reference_points(self, workload):
+        g, machine = workload
+        with pytest.raises(ValueError):
+            calibrate(g, machine=machine, p_low=8, p_high=2)
+        with pytest.raises(ValueError):
+            calibrate(g, machine=machine, p_low=1, p_high=8)
+
+
+class TestPredictions:
+    def test_scaling_then_saturation_shape(self, model):
+        # Falls with p in the compute regime...
+        assert model.predict(32) < model.predict(8)
+        # ...and eventually rises when alltoall latency dominates.
+        sweet = model.sweet_spot(1 << 16)
+        assert model.predict(sweet * 16) > model.predict(sweet)
+
+    def test_sweet_spot_in_papers_range(self, model):
+        # The paper observes scaling end points around 1K-2K processes
+        # for moderate/large inputs (§V-A); the model should land in
+        # that order of magnitude.
+        assert 64 <= model.sweet_spot(1 << 16) <= 1 << 13
+
+    def test_curve_matches_pointwise(self, model):
+        curve = dict(model.predict_curve([16, 64]))
+        assert curve[16] == model.predict(16)
+        assert curve[64] == model.predict(64)
+
+    def test_invalid_p(self, model):
+        with pytest.raises(ValueError):
+            model.predict(0)
+
+
+class TestObserveRun:
+    def test_observables_populated(self, workload):
+        g, machine = workload
+        obs = observe_run(g, 4, None, machine)
+        assert obs.nranks == 4
+        assert obs.elapsed > 0
+        assert obs.compute_seconds > 0
+        assert obs.comm_bytes > 0
+        assert obs.alltoall_rounds > 0
+        assert obs.allreduce_rounds > 0

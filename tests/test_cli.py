@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.resultio import read_communities_text, load_result
+from repro.graph import EdgeList, read_header
+from repro.graph.textio import write_snap_edgelist
+
+
+class TestGenerate:
+    def test_writes_binary(self, tmp_path, capsys):
+        out = str(tmp_path / "g.bin")
+        assert main(["generate", "channel", out, "--scale", "tiny"]) == 0
+        header = read_header(out)
+        assert header.num_vertices > 0
+        assert "stand-in for channel" in capsys.readouterr().out
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "nope", str(tmp_path / "g.bin")])
+
+    def test_seed_changes_output(self, tmp_path):
+        a, b = str(tmp_path / "a.bin"), str(tmp_path / "b.bin")
+        main(["generate", "com-orkut", a, "--scale", "tiny", "--seed", "1"])
+        main(["generate", "com-orkut", b, "--scale", "tiny", "--seed", "2"])
+        assert open(a, "rb").read() != open(b, "rb").read()
+
+
+class TestConvertInfo:
+    def test_convert_and_info(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        el = EdgeList.from_arrays(4, [0, 1, 2], [1, 2, 3])
+        write_snap_edgelist(src, el)
+        dst = str(tmp_path / "g.bin")
+        assert main(["convert", str(src), dst]) == 0
+        assert main(["info", dst]) == 0
+        out = capsys.readouterr().out
+        assert "n=4" in out
+
+
+class TestDetect:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.graph import write_edgelist
+
+        g = planted_blocks_graph(
+            blocks=4, per_block=10, p_in=0.8, inter_edges=6, seed=3
+        )
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+        return path
+
+    def test_detect_writes_outputs(self, tmp_path, capsys, graph_file):
+        comm_file = str(tmp_path / "c.txt")
+        npz_file = str(tmp_path / "r.npz")
+        rc = main([
+            "detect", graph_file, "--ranks", "2",
+            "--variant", "etc", "--alpha", "0.25",
+            "--out", comm_file, "--save", npz_file, "--trace",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ETC(0.25) on 2 ranks" in out
+        assert "trace over 2 rank(s)" in out
+        assignment = read_communities_text(comm_file)
+        assert len(assignment) == 40
+        result = load_result(npz_file)
+        assert result.modularity > 0.5
+
+    def test_detect_chrome_trace(self, tmp_path, graph_file, capsys):
+        import json
+
+        out = str(tmp_path / "timeline.json")
+        rc = main([
+            "detect", graph_file, "--ranks", "2", "--chrome-trace", out,
+        ])
+        assert rc == 0
+        doc = json.load(open(out))
+        assert doc["traceEvents"]
+        assert "Perfetto" in capsys.readouterr().out
+
+    def test_detect_with_coloring_and_resolution(self, graph_file, capsys):
+        rc = main([
+            "detect", graph_file, "--ranks", "2", "--coloring",
+            "--resolution", "1.5",
+        ])
+        assert rc == 0
+        assert "Baseline" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_scores(self, tmp_path, capsys):
+        det = tmp_path / "d.txt"
+        tru = tmp_path / "t.txt"
+        det.write_text("0 0\n1 0\n2 1\n3 1\n")
+        tru.write_text("0 0\n1 0\n2 1\n3 1\n")
+        assert main(["compare", str(det), str(tru)]) == 0
+        out = capsys.readouterr().out
+        assert "F-score=1.000000" in out
+        assert "NMI=1.000000" in out
+
+    def test_compare_length_mismatch(self, tmp_path, capsys):
+        det = tmp_path / "d.txt"
+        tru = tmp_path / "t.txt"
+        det.write_text("0 0\n")
+        tru.write_text("0 0\n1 1\n")
+        assert main(["compare", str(det), str(tru)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_variant_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["detect", "x.bin", "--variant", "magic"])

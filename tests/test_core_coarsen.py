@@ -1,0 +1,175 @@
+"""Unit tests for serial and distributed graph coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.core import coarsen_csr, modularity, remote_lookup
+from repro.core.coarsen import rebuild_distributed
+from repro.graph import CSRGraph, DistGraph, EdgeList
+from repro.runtime import FREE, run_spmd
+
+from .conftest import planted_blocks_graph
+
+
+class TestCoarsenCSR:
+    def test_two_cliques_collapse(self, two_cliques):
+        assignment = np.array([0] * 5 + [5] * 5)
+        meta, v2m = coarsen_csr(two_cliques, assignment)
+        assert meta.num_vertices == 2
+        np.testing.assert_array_equal(v2m, [0] * 5 + [1] * 5)
+        # Self loops: 10 intra edges counted twice = 20 each.
+        np.testing.assert_allclose(meta.self_loop_weights(), [20.0, 20.0])
+        # Inter-community edge weight 1.
+        nbrs, w = meta.neighbors(0)
+        assert w[nbrs == 1][0] == pytest.approx(1.0)
+
+    def test_total_weight_preserved(self, planted_blocks):
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, 10, planted_blocks.num_vertices)
+        meta, _ = coarsen_csr(planted_blocks, assignment)
+        assert meta.total_weight == pytest.approx(
+            planted_blocks.total_weight
+        )
+
+    def test_modularity_invariant_under_coarsening(self, planted_blocks):
+        # Q of the assignment on G equals Q of singletons on the coarse
+        # graph — the property that makes multi-phase Louvain valid.
+        rng = np.random.default_rng(1)
+        assignment = rng.integers(0, 12, planted_blocks.num_vertices)
+        meta, v2m = coarsen_csr(planted_blocks, assignment)
+        q_fine = modularity(planted_blocks, assignment)
+        q_coarse = modularity(meta, np.arange(meta.num_vertices))
+        assert q_fine == pytest.approx(q_coarse, abs=1e-12)
+
+    def test_identity_assignment(self, two_cliques):
+        meta, v2m = coarsen_csr(two_cliques, np.arange(10))
+        assert meta.num_vertices == 10
+        assert meta.num_edges == two_cliques.num_edges
+
+    def test_noncontiguous_labels(self, two_cliques):
+        assignment = np.array([100] * 5 + [-3] * 5)
+        meta, v2m = coarsen_csr(two_cliques, assignment)
+        assert meta.num_vertices == 2
+        # -3 sorts before 100, so the second clique becomes meta vertex 0.
+        assert v2m[0] == 1 and v2m[5] == 0
+
+    def test_length_check(self, two_cliques):
+        with pytest.raises(ValueError):
+            coarsen_csr(two_cliques, np.zeros(3))
+
+    def test_existing_self_loops_accumulate(self):
+        g = CSRGraph.from_edges(3, [0, 0, 1], [0, 1, 2], [2.0, 1.0, 1.0])
+        meta, _ = coarsen_csr(g, np.array([0, 0, 0]))
+        # loop(2.0 once) + edges (1+1) twice each = 2 + 4 = 6.
+        assert meta.self_loop_weights()[0] == pytest.approx(6.0)
+        assert meta.total_weight == pytest.approx(g.total_weight)
+
+
+class TestRemoteLookup:
+    def test_routes_to_owners(self):
+        offsets = np.array([0, 4, 8, 12])
+
+        def prog(comm):
+            vb = offsets[comm.rank]
+            ve = offsets[comm.rank + 1]
+            table = (np.arange(vb, ve) * 100).astype(np.int64)
+            queries = np.array([1, 5, 9, 5, 1], dtype=np.int64)
+            return remote_lookup(
+                comm, offsets, queries, lambda ids: table[ids - vb]
+            ).tolist()
+
+        r = run_spmd(3, prog, machine=FREE, timeout=10.0)
+        assert r.values == [[100, 500, 900, 500, 100]] * 3
+
+    def test_empty_queries(self):
+        offsets = np.array([0, 2, 4])
+
+        def prog(comm):
+            vb = offsets[comm.rank]
+            table = np.zeros(2, dtype=np.int64)
+            out = remote_lookup(
+                comm, offsets, np.empty(0, np.int64),
+                lambda ids: table[ids - vb],
+            )
+            return len(out)
+
+        assert run_spmd(2, prog, machine=FREE, timeout=10.0).values == [0, 0]
+
+
+class TestRebuildDistributed:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4])
+    def test_matches_serial_coarsening(self, nranks):
+        g = planted_blocks_graph(blocks=4, per_block=10, seed=11)
+        # A fixed, deterministic assignment: community = block leader.
+        assignment = (np.arange(40) // 10) * 10
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g, partition="even_vertex")
+            plan = dg.build_ghost_plan(comm)
+            local_comm = assignment[dg.vbegin:dg.vend].astype(np.int64)
+            ghost_comm = assignment[plan.ghost_ids].astype(np.int64)
+            new_dg, local_new = rebuild_distributed(
+                comm, dg, local_comm, ghost_comm
+            )
+            return (
+                new_dg.num_global_vertices,
+                float(new_dg.weights.sum()),
+                new_dg.total_weight,
+                local_new.tolist(),
+            )
+
+        r = run_spmd(nranks, prog, machine=FREE, timeout=20.0)
+        meta, v2m = coarsen_csr(g, assignment)
+        for n_new, _, tw, _ in r.values:
+            assert n_new == meta.num_vertices == 4
+            assert tw == pytest.approx(g.total_weight)
+        assert sum(v[1] for v in r.values) == pytest.approx(
+            meta.total_weight
+        )
+        # local_new pieces concatenate to the serial vertex_to_meta map.
+        combined = []
+        for v in r.values:
+            combined.extend(v[3])
+        np.testing.assert_array_equal(combined, v2m)
+
+    def test_stale_owned_communities_pruned(self):
+        # Community ids owned by rank 0 that only remote vertices use:
+        # every vertex joins community 0 (owned by rank 0).
+        g = planted_blocks_graph(blocks=2, per_block=6, seed=2)
+        assignment = np.zeros(12, dtype=np.int64)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g, partition="even_vertex")
+            plan = dg.build_ghost_plan(comm)
+            local_comm = assignment[dg.vbegin:dg.vend]
+            ghost_comm = assignment[plan.ghost_ids]
+            new_dg, local_new = rebuild_distributed(
+                comm, dg, local_comm, ghost_comm
+            )
+            return new_dg.num_global_vertices, local_new.tolist()
+
+        r = run_spmd(3, prog, machine=FREE, timeout=20.0)
+        for n_new, local_new in r.values:
+            assert n_new == 1
+            assert all(x == 0 for x in local_new)
+
+    def test_meta_graph_structure(self, two_cliques):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, two_cliques, "even_vertex")
+            plan = dg.build_ghost_plan(comm)
+            assignment = np.array([0] * 5 + [5] * 5, dtype=np.int64)
+            local_comm = assignment[dg.vbegin:dg.vend]
+            ghost_comm = assignment[plan.ghost_ids]
+            new_dg, _ = rebuild_distributed(comm, dg, local_comm, ghost_comm)
+            out = []
+            for lu in range(new_dg.num_local):
+                nbrs, w = new_dg.row(lu)
+                out.append(
+                    (lu + new_dg.vbegin, sorted(zip(nbrs.tolist(), w.tolist())))
+                )
+            return out
+
+        r = run_spmd(2, prog, machine=FREE, timeout=20.0)
+        rows = dict(kv for v in r.values for kv in v)
+        assert rows[0] == [(0, 20.0), (1, 1.0)]
+        assert rows[1] == [(0, 1.0), (1, 20.0)]

@@ -1,0 +1,111 @@
+"""Unit tests for LouvainConfig validation and variant semantics."""
+
+import pytest
+
+from repro.core import PAPER_VARIANTS, LouvainConfig, Variant
+
+
+class TestVariant:
+    def test_et_flags(self):
+        assert Variant.ET.uses_early_termination
+        assert not Variant.ET.uses_threshold_cycling
+        assert not Variant.ET.uses_inactive_exit
+
+    def test_etc_flags(self):
+        assert Variant.ETC.uses_early_termination
+        assert Variant.ETC.uses_inactive_exit
+
+    def test_tc_flags(self):
+        assert Variant.THRESHOLD_CYCLING.uses_threshold_cycling
+        assert not Variant.THRESHOLD_CYCLING.uses_early_termination
+
+    def test_et_tc_combines(self):
+        assert Variant.ET_TC.uses_early_termination
+        assert Variant.ET_TC.uses_threshold_cycling
+        # Table VI pairs TC with plain ET, not with the ETC exit.
+        assert not Variant.ET_TC.uses_inactive_exit
+
+    def test_baseline_flags(self):
+        v = Variant.BASELINE
+        assert not (
+            v.uses_early_termination
+            or v.uses_threshold_cycling
+            or v.uses_inactive_exit
+        )
+
+
+class TestLouvainConfig:
+    def test_paper_defaults(self):
+        cfg = LouvainConfig()
+        assert cfg.tau == 1e-6
+        assert cfg.et_inactive_floor == 0.02
+        assert cfg.etc_exit_fraction == 0.90
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -1e-3, 2.0])
+    def test_tau_validated(self, bad):
+        with pytest.raises(ValueError):
+            LouvainConfig(tau=bad)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_alpha_validated(self, bad):
+        with pytest.raises(ValueError):
+            LouvainConfig(alpha=bad)
+
+    def test_alpha_bounds_inclusive(self):
+        LouvainConfig(alpha=0.0)
+        LouvainConfig(alpha=1.0)
+
+    def test_exit_fraction_validated(self):
+        with pytest.raises(ValueError):
+            LouvainConfig(etc_exit_fraction=0.0)
+        LouvainConfig(etc_exit_fraction=1.0)
+
+    def test_cycle_validated(self):
+        with pytest.raises(ValueError):
+            LouvainConfig(threshold_cycle=())
+        with pytest.raises(ValueError):
+            LouvainConfig(threshold_cycle=((1e-3, 0),))
+
+    def test_caps_validated(self):
+        with pytest.raises(ValueError):
+            LouvainConfig(max_phases=0)
+        with pytest.raises(ValueError):
+            LouvainConfig(max_iterations=0)
+
+    def test_min_cycle_tau(self):
+        cfg = LouvainConfig(threshold_cycle=((1e-2, 1), (1e-7, 2)))
+        assert cfg.min_cycle_tau == 1e-7
+
+    def test_with_variant(self):
+        cfg = LouvainConfig().with_variant(Variant.ET, alpha=0.75)
+        assert cfg.variant is Variant.ET
+        assert cfg.alpha == 0.75
+
+    def test_labels_match_paper_legends(self):
+        assert LouvainConfig().label() == "Baseline"
+        assert (
+            LouvainConfig(variant=Variant.THRESHOLD_CYCLING).label()
+            == "Threshold Cycling"
+        )
+        assert LouvainConfig(variant=Variant.ET, alpha=0.25).label() == "ET(0.25)"
+        assert LouvainConfig(variant=Variant.ETC, alpha=0.75).label() == "ETC(0.75)"
+        assert (
+            LouvainConfig(variant=Variant.ET_TC, alpha=0.25).label()
+            == "ET(0.25)+TC"
+        )
+
+    def test_paper_variant_set(self):
+        labels = [c.label() for c in PAPER_VARIANTS]
+        assert labels == [
+            "Baseline",
+            "Threshold Cycling",
+            "ET(0.25)",
+            "ET(0.75)",
+            "ETC(0.25)",
+            "ETC(0.75)",
+        ]
+
+    def test_frozen(self):
+        cfg = LouvainConfig()
+        with pytest.raises(AttributeError):
+            cfg.tau = 0.5

@@ -1,0 +1,187 @@
+"""Unit tests for the distributed Louvain algorithm (Algorithms 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig, Variant, louvain, modularity, run_louvain
+from repro.graph import CSRGraph, EdgeList
+from repro.runtime import CORI_HASWELL, FREE
+
+from .conftest import assert_valid_partition, planted_blocks_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 8])
+    def test_planted_blocks_all_p(self, planted_blocks, nranks):
+        r = run_louvain(planted_blocks, nranks, machine=FREE)
+        assert r.num_communities == 8
+        assert r.modularity > 0.8
+        assert_valid_partition(r.assignment, 200)
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_two_cliques(self, two_cliques, nranks):
+        r = run_louvain(two_cliques, nranks, machine=FREE)
+        assert r.modularity == pytest.approx(0.45238095, abs=1e-6)
+        assert r.num_communities == 2
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_karate(self, karate, nranks):
+        r = run_louvain(karate, nranks, machine=FREE)
+        assert 0.38 <= r.modularity <= 0.43
+
+    def test_reported_q_matches_assignment(self, planted_blocks):
+        r = run_louvain(planted_blocks, 4, machine=FREE)
+        assert modularity(planted_blocks, r.assignment) == pytest.approx(
+            r.modularity, abs=1e-9
+        )
+
+    def test_quality_close_to_serial(self, planted_blocks):
+        serial = louvain(planted_blocks)
+        for p in (2, 4, 8):
+            dist = run_louvain(planted_blocks, p, machine=FREE)
+            assert dist.modularity >= serial.modularity - 0.03
+
+    @pytest.mark.parametrize("partition", ["even_vertex", "even_edge"])
+    def test_partition_strategies(self, planted_blocks, partition):
+        r = run_louvain(
+            planted_blocks, 4, machine=FREE, partition=partition
+        )
+        assert r.modularity > 0.8
+
+    def test_more_ranks_than_vertices(self):
+        g = planted_blocks_graph(
+            blocks=2, per_block=4, p_in=1.0, inter_edges=1, seed=0
+        )
+        r = run_louvain(g, 12, machine=FREE)
+        assert_valid_partition(r.assignment, 8)
+        assert r.modularity > 0.3
+        assert r.num_communities == 2
+
+    def test_disconnected_graph(self):
+        g = EdgeList.from_arrays(
+            8, [0, 1, 2, 4, 5, 6], [1, 2, 3, 5, 6, 7]
+        ).to_csr()
+        r = run_louvain(g, 3, machine=FREE)
+        assert r.num_communities >= 2
+        assert r.modularity > 0.3
+
+    def test_graph_with_isolated_vertices(self):
+        g = EdgeList.from_arrays(6, [0, 1], [1, 2]).to_csr()
+        r = run_louvain(g, 2, machine=FREE)
+        assert_valid_partition(r.assignment, 6)
+
+    def test_weighted_graph(self):
+        g = EdgeList.from_arrays(
+            6, [0, 1, 2, 3, 4, 0], [1, 2, 3, 4, 5, 3],
+            [5.0, 5.0, 0.1, 5.0, 5.0, 0.1],
+        ).to_csr()
+        r = run_louvain(g, 2, machine=FREE)
+        assert r.assignment[0] == r.assignment[1] == r.assignment[2]
+        assert r.assignment[3] == r.assignment[4] == r.assignment[5]
+
+
+class TestVariants:
+    @pytest.mark.parametrize(
+        "variant,alpha",
+        [
+            (Variant.ET, 0.25),
+            (Variant.ET, 0.75),
+            (Variant.ETC, 0.25),
+            (Variant.ETC, 0.75),
+            (Variant.THRESHOLD_CYCLING, 0.25),
+            (Variant.ET_TC, 0.25),
+        ],
+    )
+    def test_all_variants_reach_good_quality(
+        self, planted_blocks, variant, alpha
+    ):
+        cfg = LouvainConfig(variant=variant, alpha=alpha)
+        r = run_louvain(planted_blocks, 4, cfg, machine=FREE)
+        assert r.modularity > 0.75
+        assert_valid_partition(r.assignment, 200)
+
+    def test_et_reduces_active_fraction(self, planted_blocks):
+        cfg = LouvainConfig(variant=Variant.ET, alpha=0.75)
+        r = run_louvain(planted_blocks, 4, cfg, machine=FREE)
+        assert min(it.active_fraction for it in r.iterations) < 1.0
+
+    def test_etc_tracks_global_inactive(self, planted_blocks):
+        cfg = LouvainConfig(variant=Variant.ETC, alpha=0.75)
+        r = run_louvain(planted_blocks, 4, cfg, machine=FREE)
+        fracs = [it.inactive_fraction for it in r.iterations]
+        assert max(fracs) > 0.0
+
+    def test_etc_exit_flag_set_when_triggered(self, planted_blocks):
+        cfg = LouvainConfig(
+            variant=Variant.ETC, alpha=0.95, etc_exit_fraction=0.5
+        )
+        r = run_louvain(planted_blocks, 4, cfg, machine=FREE)
+        assert any(p.exited_by_inactive for p in r.phases)
+
+    def test_neighbor_collectives_same_result(self, planted_blocks):
+        base = run_louvain(planted_blocks, 4, machine=FREE)
+        neigh = run_louvain(
+            planted_blocks,
+            4,
+            LouvainConfig(use_neighbor_collectives=True),
+            machine=FREE,
+        )
+        np.testing.assert_array_equal(base.assignment, neigh.assignment)
+        assert base.modularity == neigh.modularity
+
+
+class TestTiming:
+    def test_elapsed_and_trace_populated(self, planted_blocks):
+        r = run_louvain(planted_blocks, 4, machine=CORI_HASWELL)
+        assert r.elapsed > 0
+        cats = r.trace.seconds_by_category()
+        for cat in ("compute", "ghost_comm", "community_comm", "allreduce"):
+            assert cats.get(cat, 0) > 0, cat
+
+    def test_deterministic_including_time(self, planted_blocks):
+        r1 = run_louvain(planted_blocks, 4, machine=CORI_HASWELL)
+        r2 = run_louvain(planted_blocks, 4, machine=CORI_HASWELL)
+        np.testing.assert_array_equal(r1.assignment, r2.assignment)
+        assert r1.elapsed == r2.elapsed
+
+    def test_et_faster_than_baseline(self, planted_blocks):
+        base = run_louvain(planted_blocks, 4, machine=CORI_HASWELL)
+        et = run_louvain(
+            planted_blocks,
+            4,
+            LouvainConfig(variant=Variant.ET, alpha=0.75),
+            machine=CORI_HASWELL,
+        )
+        # ET processes fewer vertices; its modelled time per unit of
+        # quality should not exceed baseline by much.  (Exact speedup is
+        # graph-dependent; assert the compute trace shrank.)
+        assert (
+            et.trace.seconds_by_category()["compute"]
+            < base.trace.seconds_by_category()["compute"] * 1.2
+        )
+
+
+class TestStatsTracking:
+    def test_phase_graph_sizes_shrink(self, planted_blocks):
+        r = run_louvain(planted_blocks, 4, machine=FREE)
+        sizes = [p.num_vertices for p in r.phases]
+        assert sizes[0] == 200
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_iteration_series_nonempty(self, planted_blocks):
+        r = run_louvain(planted_blocks, 4, machine=FREE)
+        assert r.total_iterations == len(r.iterations)
+        assert r.iterations[0].phase == 0
+
+    def test_track_assignments_gathers_to_root(self, two_cliques):
+        cfg = LouvainConfig(track_assignments=True)
+        r = run_louvain(two_cliques, 2, cfg, machine=FREE)
+        assert r.phase_assignments is not None
+        assert len(r.phase_assignments) == r.num_phases
+        for pa in r.phase_assignments:
+            assert len(pa) == 10
+
+    def test_max_phases_cap(self, planted_blocks):
+        cfg = LouvainConfig(max_phases=1)
+        r = run_louvain(planted_blocks, 4, cfg, machine=FREE)
+        assert r.num_phases == 1

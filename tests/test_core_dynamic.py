@@ -1,0 +1,178 @@
+"""Unit tests for dynamic (incremental) community detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig, modularity, run_louvain
+from repro.core.dynamic import (
+    ChurnStats,
+    EdgeChurn,
+    apply_churn,
+    churn_statistics,
+    incremental_louvain,
+)
+from repro.graph import EdgeList
+from repro.runtime import FREE
+
+from .conftest import assert_valid_partition, planted_blocks_graph
+
+
+class TestEdgeChurn:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeChurn(add_u=np.array([1]), add_v=np.array([2]),
+                      add_w=np.empty(0))
+        with pytest.raises(ValueError):
+            EdgeChurn(del_u=np.array([1]), del_v=np.empty(0, np.int64))
+
+    def test_touched_vertices(self):
+        churn = EdgeChurn(
+            add_u=np.array([1]), add_v=np.array([5]),
+            add_w=np.ones(1),
+            del_u=np.array([2]), del_v=np.array([1]),
+        )
+        np.testing.assert_array_equal(churn.touched_vertices(), [1, 2, 5])
+
+    def test_random_churn_shapes(self, planted_blocks):
+        churn = EdgeChurn.random(planted_blocks, 0.02, 0.02, seed=1)
+        m = planted_blocks.num_edges
+        assert churn.num_deletions == int(0.02 * m)
+        assert 0 < churn.num_insertions <= int(0.02 * m)
+
+    def test_random_churn_deterministic(self, planted_blocks):
+        a = EdgeChurn.random(planted_blocks, 0.05, 0.05, seed=7)
+        b = EdgeChurn.random(planted_blocks, 0.05, 0.05, seed=7)
+        np.testing.assert_array_equal(a.del_u, b.del_u)
+        np.testing.assert_array_equal(a.add_u, b.add_u)
+
+
+class TestApplyChurn:
+    def test_insert_new_edge(self, two_cliques):
+        churn = EdgeChurn(
+            add_u=np.array([0]), add_v=np.array([9]),
+            add_w=np.array([2.0]),
+        )
+        g2 = apply_churn(two_cliques, churn)
+        assert g2.num_edges == two_cliques.num_edges + 1
+        nbrs, w = g2.neighbors(0)
+        assert 9 in nbrs
+
+    def test_insert_accumulates_on_existing(self, two_cliques):
+        churn = EdgeChurn(
+            add_u=np.array([0]), add_v=np.array([1]),
+            add_w=np.array([3.0]),
+        )
+        g2 = apply_churn(two_cliques, churn)
+        assert g2.num_edges == two_cliques.num_edges
+        nbrs, w = g2.neighbors(0)
+        assert w[nbrs == 1][0] == pytest.approx(4.0)
+
+    def test_delete_edge(self, two_cliques):
+        churn = EdgeChurn(del_u=np.array([5]), del_v=np.array([0]))
+        g2 = apply_churn(two_cliques, churn)
+        assert g2.num_edges == two_cliques.num_edges - 1
+        nbrs, _ = g2.neighbors(0)
+        assert 5 not in nbrs
+
+    def test_delete_missing_edge_ignored(self, two_cliques):
+        churn = EdgeChurn(del_u=np.array([0]), del_v=np.array([9]))
+        g2 = apply_churn(two_cliques, churn)
+        assert g2.num_edges == two_cliques.num_edges
+
+    def test_insertion_can_grow_vertex_set(self, two_cliques):
+        churn = EdgeChurn(
+            add_u=np.array([0]), add_v=np.array([15]),
+            add_w=np.ones(1),
+        )
+        g2 = apply_churn(two_cliques, churn)
+        assert g2.num_vertices == 16
+
+    def test_empty_churn_identity(self, two_cliques):
+        g2 = apply_churn(two_cliques, EdgeChurn())
+        assert g2.num_edges == two_cliques.num_edges
+        assert g2.total_weight == pytest.approx(two_cliques.total_weight)
+
+
+class TestIncrementalLouvain:
+    def test_stable_graph_keeps_partition(self, planted_blocks):
+        base = run_louvain(planted_blocks, 4, machine=FREE)
+        redo = incremental_louvain(
+            planted_blocks, base.assignment, nranks=4, machine=FREE
+        )
+        # Nothing changed: the old partition is already converged, so
+        # quality matches and the run is a couple of iterations.
+        assert redo.modularity == pytest.approx(base.modularity, abs=0.01)
+        assert redo.total_iterations <= 4
+
+    def test_quality_after_small_churn(self, planted_blocks):
+        base = run_louvain(planted_blocks, 4, machine=FREE)
+        churn = EdgeChurn.random(planted_blocks, 0.02, 0.02, seed=3)
+        g2 = apply_churn(planted_blocks, churn)
+        inc = incremental_louvain(
+            g2, base.assignment, nranks=4, machine=FREE,
+            reset_touched=churn.touched_vertices(),
+        )
+        scratch = run_louvain(g2, 4, machine=FREE)
+        assert_valid_partition(inc.assignment, g2.num_vertices)
+        assert inc.modularity >= scratch.modularity - 0.02
+        assert inc.modularity == pytest.approx(
+            modularity(g2, inc.assignment), abs=1e-9
+        )
+
+    def test_fewer_iterations_than_scratch(self, planted_blocks):
+        base = run_louvain(planted_blocks, 4, machine=FREE)
+        churn = EdgeChurn.random(planted_blocks, 0.01, 0.01, seed=5)
+        g2 = apply_churn(planted_blocks, churn)
+        inc = incremental_louvain(
+            g2, base.assignment, nranks=4, machine=FREE
+        )
+        scratch = run_louvain(g2, 4, machine=FREE)
+        assert inc.total_iterations < scratch.total_iterations
+
+    def test_new_vertices_become_singleton_seeds(self, two_cliques):
+        base = run_louvain(two_cliques, 2, machine=FREE)
+        # Attach two new vertices to clique 0.
+        churn = EdgeChurn(
+            add_u=np.array([0, 1]), add_v=np.array([10, 11]),
+            add_w=np.ones(2),
+        )
+        g2 = apply_churn(two_cliques, churn)
+        inc = incremental_louvain(g2, base.assignment, nranks=2,
+                                  machine=FREE)
+        assert len(inc.assignment) == 12
+        # The new leaves join clique 0's community.
+        assert inc.assignment[10] == inc.assignment[0]
+        assert inc.assignment[11] == inc.assignment[1]
+
+    def test_assignment_longer_than_graph_rejected(self, two_cliques):
+        with pytest.raises(ValueError):
+            incremental_louvain(
+                two_cliques, np.zeros(99, dtype=np.int64), nranks=2,
+                machine=FREE,
+            )
+
+    def test_arbitrary_labels_accepted(self, planted_blocks):
+        labels = (np.arange(200) // 25) * 1000 - 7  # weird label space
+        r = incremental_louvain(
+            planted_blocks, labels, nranks=4, machine=FREE
+        )
+        assert r.modularity > 0.75
+
+
+class TestChurnStatistics:
+    def test_classification(self):
+        prev = np.array([0, 0, 1, 1])
+        churn = EdgeChurn(
+            add_u=np.array([0, 0]), add_v=np.array([1, 2]),
+            add_w=np.ones(2),
+            del_u=np.array([2]), del_v=np.array([3]),
+        )
+        stats = churn_statistics(churn, prev)
+        assert isinstance(stats, ChurnStats)
+        assert stats.inter_inserted == 1  # 0-2 crosses communities
+        assert stats.intra_deleted == 1  # 2-3 was intra
+        assert stats.touched_vertices == 4
+
+    def test_empty_previous(self):
+        stats = churn_statistics(EdgeChurn(), np.empty(0, np.int64))
+        assert stats.touched_fraction == 0.0

@@ -1,0 +1,117 @@
+"""Edge-case coverage for the full Louvain stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LouvainConfig,
+    grappolo_louvain,
+    louvain,
+    modularity,
+    run_louvain,
+)
+from repro.graph import CSRGraph, EdgeList
+from repro.runtime import FREE
+
+from .conftest import assert_valid_partition
+
+
+def every_impl(g, nranks=3):
+    yield "serial", louvain(g)
+    yield "grappolo", grappolo_louvain(g)
+    yield "distributed", run_louvain(g, nranks, machine=FREE)
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        g = CSRGraph.empty(1)
+        for name, r in every_impl(g, nranks=2):
+            assert r.num_communities == 1, name
+            assert r.modularity == 0.0, name
+
+    def test_single_edge(self):
+        g = EdgeList.from_arrays(2, [0], [1]).to_csr()
+        for name, r in every_impl(g, nranks=2):
+            assert r.num_communities == 1, name
+
+    def test_self_loops_only(self):
+        g = EdgeList.from_arrays(3, [0, 1, 2], [0, 1, 2]).to_csr()
+        for name, r in every_impl(g):
+            # Each vertex keeps its own (self-loop) community.
+            assert r.num_communities == 3, name
+            assert r.modularity > 0.0, name
+
+    def test_complete_graph_single_community(self):
+        n = 8
+        iu, iv = np.triu_indices(n, k=1)
+        g = EdgeList.from_arrays(n, iu, iv).to_csr()
+        for name, r in every_impl(g):
+            assert r.num_communities == 1, name
+            assert r.modularity == pytest.approx(0.0, abs=1e-9), name
+
+    def test_two_isolated_cliques(self):
+        edges = []
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    edges.append((base + i, base + j))
+        u, v = zip(*edges)
+        g = EdgeList.from_arrays(8, np.array(u), np.array(v)).to_csr()
+        for name, r in every_impl(g):
+            assert r.num_communities == 2, name
+            assert r.modularity == pytest.approx(0.5), name
+
+    def test_extreme_weight_ratio(self):
+        g = EdgeList.from_arrays(
+            4, [0, 1, 2], [1, 2, 3], [1e12, 1e-12, 1e12]
+        ).to_csr()
+        for name, r in every_impl(g, nranks=2):
+            assert r.assignment[0] == r.assignment[1], name
+            assert r.assignment[2] == r.assignment[3], name
+            assert r.assignment[0] != r.assignment[2], name
+
+    def test_all_vertices_isolated(self):
+        g = CSRGraph.empty(7)
+        for name, r in every_impl(g):
+            assert r.num_communities == 7, name
+            assert_valid_partition(r.assignment, 7)
+
+
+class TestExtremeConfigs:
+    def test_huge_tau_one_iteration(self, planted_blocks):
+        cfg = LouvainConfig(tau=0.9)
+        r = run_louvain(planted_blocks, 3, cfg, machine=FREE)
+        # With an enormous tau the run stops almost immediately but the
+        # output is still a valid (coarse) partition.
+        assert_valid_partition(r.assignment, 200)
+        assert r.total_iterations <= 4
+
+    def test_tiny_tau_still_terminates(self, planted_blocks):
+        cfg = LouvainConfig(tau=1e-15)
+        r = run_louvain(planted_blocks, 3, cfg, machine=FREE)
+        assert r.num_phases < cfg.max_phases
+        assert r.modularity > 0.8
+
+    def test_alpha_one_et_converges(self, planted_blocks):
+        from repro.core import Variant
+
+        cfg = LouvainConfig(variant=Variant.ET, alpha=1.0)
+        r = run_louvain(planted_blocks, 3, cfg, machine=FREE)
+        assert r.modularity > 0.6
+
+    def test_many_ranks_tiny_graph(self, two_cliques):
+        r = run_louvain(two_cliques, 10, machine=FREE)
+        assert r.num_communities == 2
+        assert r.modularity == pytest.approx(0.45238095, abs=1e-6)
+
+    def test_reported_q_consistent_for_all_degenerates(self):
+        graphs = [
+            CSRGraph.empty(3),
+            EdgeList.from_arrays(2, [0], [1]).to_csr(),
+            EdgeList.from_arrays(2, [0, 1], [0, 1]).to_csr(),
+        ]
+        for g in graphs:
+            r = run_louvain(g, 2, machine=FREE)
+            assert r.modularity == pytest.approx(
+                modularity(g, r.assignment), abs=1e-12
+            )

@@ -1,0 +1,128 @@
+"""Unit tests for Threshold Cycling and Early Termination (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlyTermination, LouvainConfig, ThresholdCycler, Variant
+from repro.core.heuristics import make_rank_rng
+
+
+class TestThresholdCycler:
+    def test_fig2_schedule(self):
+        # Fig. 2: phases 0-2 @ 1e-3, 3-6 @ 1e-4, 7-9 @ 1e-5, 10-12 @ 1e-6.
+        cyc = ThresholdCycler(LouvainConfig(variant=Variant.THRESHOLD_CYCLING))
+        taus = [cyc.tau_for_phase(k) for k in range(13)]
+        assert taus[:3] == [1e-3] * 3
+        assert taus[3:7] == [1e-4] * 4
+        assert taus[7:10] == [1e-5] * 3
+        assert taus[10:13] == [1e-6] * 3
+
+    def test_cycle_repeats_from_phase_13(self):
+        cyc = ThresholdCycler(LouvainConfig(variant=Variant.THRESHOLD_CYCLING))
+        assert cyc.tau_for_phase(13) == cyc.tau_for_phase(0) == 1e-3
+        assert cyc.tau_for_phase(16) == cyc.tau_for_phase(3)
+
+    def test_final_pass_pins_lowest_tau(self):
+        cyc = ThresholdCycler(LouvainConfig(variant=Variant.THRESHOLD_CYCLING))
+        assert not cyc.in_final_pass
+        cyc.enter_final_pass()
+        assert cyc.in_final_pass
+        for k in range(10):
+            assert cyc.tau_for_phase(k) == 1e-6
+
+    def test_custom_schedule(self):
+        cfg = LouvainConfig(
+            variant=Variant.THRESHOLD_CYCLING,
+            threshold_cycle=((1e-2, 2), (1e-5, 1)),
+        )
+        cyc = ThresholdCycler(cfg)
+        assert [cyc.tau_for_phase(k) for k in range(4)] == [
+            1e-2, 1e-2, 1e-5, 1e-2,
+        ]
+        assert cyc.final_tau == 1e-5
+
+
+class TestEarlyTermination:
+    def _et(self, n=100, alpha=0.5, floor=0.02, seed=0):
+        cfg = LouvainConfig(
+            variant=Variant.ET, alpha=alpha, et_inactive_floor=floor
+        )
+        return EarlyTermination(n, cfg, make_rank_rng(seed, 0, 0))
+
+    def test_initially_all_active(self):
+        et = self._et()
+        assert et.draw_active().all()
+        assert et.inactive_fraction() == 0.0
+
+    def test_probability_decays_when_stationary(self):
+        et = self._et(alpha=0.5)
+        et.update(np.zeros(100, dtype=bool))
+        np.testing.assert_allclose(et.prob, 0.5)
+        et.update(np.zeros(100, dtype=bool))
+        np.testing.assert_allclose(et.prob, 0.25)
+
+    def test_move_resets_probability(self):
+        et = self._et(alpha=0.5)
+        et.update(np.zeros(100, dtype=bool))
+        moved = np.zeros(100, dtype=bool)
+        moved[7] = True
+        et.update(moved)
+        assert et.prob[7] == 1.0
+        assert et.prob[8] == pytest.approx(0.25)
+
+    def test_floor_makes_permanently_inactive(self):
+        et = self._et(alpha=0.9, floor=0.02)
+        stationary = np.zeros(100, dtype=bool)
+        for _ in range(3):  # 0.1 -> 0.01 < 0.02 after two updates
+            et.update(stationary)
+        assert et.permanently_inactive.all()
+        assert not et.draw_active().any()
+        assert et.inactive_fraction() == 1.0
+
+    def test_alpha_zero_never_decays(self):
+        et = self._et(alpha=0.0)
+        for _ in range(50):
+            et.update(np.zeros(100, dtype=bool))
+        assert et.draw_active().all()
+
+    def test_alpha_one_inactive_after_one_stationary_iteration(self):
+        et = self._et(alpha=1.0)
+        et.update(np.zeros(100, dtype=bool))
+        assert et.permanently_inactive.all()
+
+    def test_draws_respect_probability_statistically(self):
+        et = self._et(n=4000, alpha=0.5, seed=3)
+        et.update(np.zeros(4000, dtype=bool))  # prob = 0.5
+        frac = et.draw_active().mean()
+        assert 0.42 < frac < 0.58
+
+    def test_deterministic_given_seed(self):
+        a = self._et(seed=5)
+        b = self._et(seed=5)
+        a.update(np.zeros(100, dtype=bool))
+        b.update(np.zeros(100, dtype=bool))
+        np.testing.assert_array_equal(a.draw_active(), b.draw_active())
+
+    def test_update_length_checked(self):
+        et = self._et()
+        with pytest.raises(ValueError):
+            et.update(np.zeros(3, dtype=bool))
+
+    def test_zero_vertices(self):
+        et = self._et(n=0)
+        assert et.inactive_fraction() == 0.0
+        assert et.update(np.zeros(0, dtype=bool)) == 0
+
+
+class TestMakeRankRng:
+    def test_distinct_streams_per_rank_and_phase(self):
+        r00 = make_rank_rng(0, 0, 0).random(4)
+        r10 = make_rank_rng(0, 1, 0).random(4)
+        r01 = make_rank_rng(0, 0, 1).random(4)
+        assert not np.allclose(r00, r10)
+        assert not np.allclose(r00, r01)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            make_rank_rng(7, 3, 2).random(4), make_rank_rng(7, 3, 2).random(4)
+        )

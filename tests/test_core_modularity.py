@@ -1,0 +1,116 @@
+"""Unit tests for modularity (Equation 2) and exact move gains."""
+
+import numpy as np
+import pytest
+
+from repro.core import community_aggregates, modularity, move_gain
+from repro.graph import CSRGraph, EdgeList
+
+nx = pytest.importorskip("networkx")
+
+
+def nx_modularity(g: CSRGraph, assignment) -> float:
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_vertices))
+    for u, v, w in g.iter_edges():
+        G.add_edge(u, v, weight=w)
+    parts = {}
+    for i, c in enumerate(assignment):
+        parts.setdefault(c, set()).add(i)
+    return nx.algorithms.community.modularity(
+        G, list(parts.values()), weight="weight"
+    )
+
+
+class TestModularity:
+    def test_singletons_on_triangle(self):
+        g = EdgeList.from_arrays(3, [0, 1, 2], [1, 2, 0]).to_csr()
+        # All singletons: in_c = 0, a_c = 2 for each; W = 6.
+        q = modularity(g, np.arange(3))
+        assert q == pytest.approx(0 - 3 * (2 / 6) ** 2)
+
+    def test_all_in_one_community_is_zero(self):
+        g = EdgeList.from_arrays(4, [0, 1, 2], [1, 2, 3]).to_csr()
+        assert modularity(g, np.zeros(4)) == pytest.approx(0.0)
+
+    def test_two_cliques_optimal(self, two_cliques):
+        assignment = np.array([0] * 5 + [1] * 5)
+        assert modularity(two_cliques, assignment) == pytest.approx(
+            0.45238095, abs=1e-6
+        )
+
+    def test_matches_networkx_on_random_partitions(self, planted_blocks):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assignment = rng.integers(0, 6, planted_blocks.num_vertices)
+            assert modularity(planted_blocks, assignment) == pytest.approx(
+                nx_modularity(planted_blocks, assignment), abs=1e-9
+            )
+
+    def test_matches_networkx_weighted(self):
+        rng = np.random.default_rng(1)
+        g = EdgeList.from_arrays(
+            20,
+            rng.integers(0, 20, 60),
+            rng.integers(0, 20, 60),
+            rng.uniform(0.5, 3.0, 60),
+        ).to_csr()
+        # NetworkX treats self loops differently; rebuild without them.
+        eu, ev, ew = g.edge_array()
+        keep = eu != ev
+        g = EdgeList.from_arrays(20, eu[keep], ev[keep], ew[keep]).to_csr()
+        assignment = rng.integers(0, 4, 20)
+        assert modularity(g, assignment) == pytest.approx(
+            nx_modularity(g, assignment), abs=1e-9
+        )
+
+    def test_empty_graph(self):
+        assert modularity(CSRGraph.empty(5), np.zeros(5)) == 0.0
+
+    def test_assignment_length_checked(self, two_cliques):
+        with pytest.raises(ValueError):
+            modularity(two_cliques, np.zeros(3))
+
+    def test_arbitrary_label_values(self, two_cliques):
+        a1 = np.array([0] * 5 + [1] * 5)
+        a2 = np.array([42] * 5 + [-7] * 5)
+        assert modularity(two_cliques, a1) == pytest.approx(
+            modularity(two_cliques, a2)
+        )
+
+
+class TestCommunityAggregates:
+    def test_two_cliques(self, two_cliques):
+        ids, cin, atot = community_aggregates(
+            two_cliques, np.array([0] * 5 + [1] * 5)
+        )
+        np.testing.assert_array_equal(ids, [0, 1])
+        # Each clique: 10 intra edges counted twice = 20.
+        np.testing.assert_allclose(cin, [20.0, 20.0])
+        np.testing.assert_allclose(atot, [21.0, 21.0])
+
+    def test_atot_sums_to_total_weight(self, planted_blocks):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 5, planted_blocks.num_vertices)
+        _, _, atot = community_aggregates(planted_blocks, a)
+        assert atot.sum() == pytest.approx(planted_blocks.total_weight)
+
+    def test_self_loop_counted_once_in_cin(self):
+        g = CSRGraph.from_edges(2, [0, 0], [0, 1], [3.0, 1.0])
+        ids, cin, atot = community_aggregates(g, np.array([0, 1]))
+        assert cin[0] == pytest.approx(3.0)
+
+
+class TestMoveGain:
+    def test_gain_reflects_actual_change(self, two_cliques):
+        # Moving vertex 0 out of its clique into the other must hurt.
+        assignment = np.array([0] * 5 + [1] * 5)
+        assert move_gain(two_cliques, assignment, 0, 1) < 0
+
+    def test_singleton_joining_clique_gains(self, two_cliques):
+        assignment = np.array([9] + [0] * 4 + [1] * 5)
+        assert move_gain(two_cliques, assignment, 0, 0) > 0
+
+    def test_noop_move_zero(self, two_cliques):
+        assignment = np.array([0] * 5 + [1] * 5)
+        assert move_gain(two_cliques, assignment, 3, 0) == pytest.approx(0.0)

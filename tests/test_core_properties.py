@@ -1,0 +1,103 @@
+"""Property-based tests on the core algorithms (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    coarsen_csr,
+    grappolo_louvain,
+    louvain,
+    modularity,
+    modularity_bounds_ok,
+    run_louvain,
+)
+from repro.runtime import FREE
+
+from .conftest import assert_valid_partition, random_graph
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+graph_params = st.tuples(
+    st.integers(3, 30),   # n
+    st.integers(2, 90),   # m
+    st.integers(0, 2**16),
+)
+
+
+@given(params=graph_params, k=st.integers(1, 6), pseed=st.integers(0, 99))
+@settings(**COMMON)
+def test_modularity_always_in_bounds(params, k, pseed):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m, weighted=True)
+    assignment = np.random.default_rng(pseed).integers(0, k, n)
+    assert modularity_bounds_ok(modularity(g, assignment))
+
+
+@given(params=graph_params, k=st.integers(1, 6), pseed=st.integers(0, 99))
+@settings(**COMMON)
+def test_coarsening_invariants(params, k, pseed):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m, weighted=True)
+    assignment = np.random.default_rng(pseed).integers(0, k, n)
+    meta, v2m = coarsen_csr(g, assignment)
+    # Total weight conserved exactly.
+    assert meta.total_weight == pytest.approx(g.total_weight)
+    # Q invariant: partition on G == singletons on meta graph.
+    assert modularity(g, assignment) == pytest.approx(
+        modularity(meta, np.arange(meta.num_vertices)), abs=1e-10
+    )
+    # v2m consistent with the assignment grouping.
+    for c in np.unique(assignment):
+        metas = np.unique(v2m[assignment == c])
+        assert len(metas) == 1
+    # Degrees aggregate.
+    agg = np.zeros(meta.num_vertices)
+    np.add.at(agg, v2m, g.degrees())
+    np.testing.assert_allclose(meta.degrees(), agg)
+
+
+@given(params=graph_params)
+@settings(**COMMON)
+def test_serial_louvain_valid_output(params):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m)
+    r = louvain(g)
+    assert_valid_partition(r.assignment, n)
+    assert modularity_bounds_ok(r.modularity)
+    assert r.modularity == pytest.approx(
+        modularity(g, r.assignment), abs=1e-9
+    )
+    # Louvain never ends below the all-singletons starting point by much.
+    assert r.modularity >= modularity(g, np.arange(n)) - 1e-9
+
+
+@given(params=graph_params)
+@settings(**COMMON)
+def test_grappolo_valid_output(params):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m, weighted=True)
+    r = grappolo_louvain(g)
+    assert_valid_partition(r.assignment, n)
+    assert r.modularity == pytest.approx(
+        modularity(g, r.assignment), abs=1e-9
+    )
+
+
+@given(params=graph_params, p=st.integers(1, 4))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_distributed_louvain_valid_output(params, p):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m)
+    r = run_louvain(g, p, machine=FREE)
+    assert_valid_partition(r.assignment, n)
+    assert modularity_bounds_ok(r.modularity)
+    assert r.modularity == pytest.approx(
+        modularity(g, r.assignment), abs=1e-9
+    )

@@ -1,0 +1,74 @@
+"""Unit tests for result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import IterationStats, LouvainResult, PhaseStats, normalize_assignment
+
+
+def make_result():
+    iters = [
+        IterationStats(0, 0, 0.1, 50, 1.0, 0.0),
+        IterationStats(0, 1, 0.3, 20, 1.0, 0.0),
+        IterationStats(1, 0, 0.4, 5, 0.8, 0.1),
+    ]
+    phases = [
+        PhaseStats(0, 1e-6, 2, 0.3, 100, 400),
+        PhaseStats(1, 1e-6, 1, 0.4, 10, 40),
+    ]
+    return LouvainResult(
+        modularity=0.4,
+        assignment=np.array([0, 0, 1, 1, 2]),
+        phases=phases,
+        iterations=iters,
+        elapsed=1.5,
+    )
+
+
+class TestLouvainResult:
+    def test_counts(self):
+        r = make_result()
+        assert r.num_phases == 2
+        assert r.total_iterations == 3
+        assert r.num_communities == 3
+
+    def test_community_sizes(self):
+        np.testing.assert_array_equal(
+            make_result().community_sizes(), [2, 2, 1]
+        )
+
+    def test_modularity_by_iteration(self):
+        series = make_result().modularity_by_iteration()
+        assert series == [(0, 0.1), (1, 0.3), (2, 0.4)]
+
+    def test_iterations_per_phase(self):
+        assert make_result().iterations_per_phase() == [(0, 2), (1, 1)]
+
+    def test_summary_readable(self):
+        s = make_result().summary()
+        assert "Q=0.4" in s
+        assert "phases=2" in s
+
+    def test_empty_assignment(self):
+        r = LouvainResult(modularity=0.0, assignment=np.empty(0, np.int64))
+        assert r.num_communities == 0
+
+
+class TestNormalizeAssignment:
+    def test_dense_renumbering(self):
+        out = normalize_assignment(np.array([42, -3, 42, 100]))
+        np.testing.assert_array_equal(out, [1, 0, 1, 2])
+
+    def test_already_dense(self):
+        out = normalize_assignment(np.array([0, 1, 1, 2]))
+        np.testing.assert_array_equal(out, [0, 1, 1, 2])
+
+    def test_preserves_grouping(self):
+        raw = np.array([7, 7, 9, 9, 7])
+        out = normalize_assignment(raw)
+        assert out[0] == out[1] == out[4]
+        assert out[2] == out[3]
+        assert out[0] != out[2]
+
+    def test_int64_output(self):
+        assert normalize_assignment(np.array([5, 5])).dtype == np.int64

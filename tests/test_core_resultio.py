@@ -1,0 +1,67 @@
+"""Unit tests for result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import louvain
+from repro.core.resultio import (
+    load_result,
+    read_communities_text,
+    save_result,
+    write_communities_text,
+)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_preserves_result(self, tmp_path, planted_blocks):
+        r = louvain(planted_blocks)
+        r.elapsed = 1.25
+        path = tmp_path / "r.npz"
+        save_result(path, r)
+        r2 = load_result(path)
+        np.testing.assert_array_equal(r.assignment, r2.assignment)
+        assert r2.modularity == r.modularity
+        assert r2.elapsed == 1.25
+        assert len(r2.phases) == r.num_phases
+        assert r2.phases[0].num_vertices == 200
+
+    def test_phase_metadata_preserved(self, tmp_path, two_cliques):
+        r = louvain(two_cliques)
+        path = tmp_path / "r.npz"
+        save_result(path, r)
+        r2 = load_result(path)
+        for a, b in zip(r.phases, r2.phases):
+            assert a.tau == b.tau
+            assert a.num_iterations == b.num_iterations
+            assert a.modularity == b.modularity
+
+
+class TestCommunitiesText:
+    def test_roundtrip(self, tmp_path):
+        a = np.array([0, 0, 1, 2, 1], dtype=np.int64)
+        path = tmp_path / "c.txt"
+        write_communities_text(path, a)
+        np.testing.assert_array_equal(read_communities_text(path), a)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n0 5\n1 5\n")
+        out = read_communities_text(path)
+        np.testing.assert_array_equal(out, [5, 5])
+
+    def test_missing_vertex_rejected(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("0 1\n2 1\n")  # vertex 1 missing
+        with pytest.raises(ValueError, match="vertex 1"):
+            read_communities_text(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_communities_text(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("")
+        assert len(read_communities_text(path)) == 0

@@ -1,0 +1,132 @@
+"""Unit tests for the serial Louvain reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig, Variant, louvain, modularity
+from repro.graph import CSRGraph, EdgeList
+
+from .conftest import assert_valid_partition
+
+
+class TestLouvainQuality:
+    def test_two_cliques(self, two_cliques):
+        r = louvain(two_cliques)
+        assert r.modularity == pytest.approx(0.45238095, abs=1e-6)
+        assert r.num_communities == 2
+        assert_valid_partition(r.assignment, 10)
+
+    def test_karate_club(self, karate):
+        r = louvain(karate)
+        # The classic Louvain result: Q ≈ 0.41-0.42, ~4 communities.
+        assert 0.40 <= r.modularity <= 0.43
+        assert 3 <= r.num_communities <= 5
+        assert_valid_partition(r.assignment, 34)
+
+    def test_planted_blocks_recovered(self, planted_blocks):
+        r = louvain(planted_blocks)
+        assert r.num_communities == 8
+        assert r.modularity > 0.8
+        # Each planted block is one community.
+        for b in range(8):
+            block = r.assignment[b * 25:(b + 1) * 25]
+            assert len(np.unique(block)) == 1
+
+    def test_reported_q_matches_assignment(self, planted_blocks):
+        r = louvain(planted_blocks)
+        assert modularity(planted_blocks, r.assignment) == pytest.approx(
+            r.modularity, abs=1e-9
+        )
+
+    def test_path_graph_segments(self, path_graph):
+        r = louvain(path_graph)
+        assert r.modularity > 0.45
+        assert_valid_partition(r.assignment, 12)
+
+    def test_star_collapses(self, star_graph):
+        r = louvain(star_graph)
+        assert r.num_communities == 1
+        assert r.modularity == pytest.approx(0.0)
+
+    def test_empty_graph(self):
+        r = louvain(CSRGraph.empty(4))
+        assert r.num_communities == 4  # isolated vertices stay singleton
+        assert r.modularity == 0.0
+
+    def test_weighted_graph_respects_weights(self):
+        # Path 0-1-2-3 where the middle edge is heavy: the heavy edge
+        # must end up intra-community.
+        g = EdgeList.from_arrays(
+            4, [0, 1, 2], [1, 2, 3], [1.0, 10.0, 1.0]
+        ).to_csr()
+        r = louvain(g)
+        assert r.assignment[1] == r.assignment[2]
+
+
+class TestLouvainMechanics:
+    def test_modularity_monotone_in_baseline(self, planted_blocks):
+        r = louvain(planted_blocks)
+        qs = [it.modularity for it in r.iterations]
+        assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_phase_stats_recorded(self, planted_blocks):
+        r = louvain(planted_blocks)
+        assert r.num_phases >= 2
+        assert r.phases[0].num_vertices == 200
+        assert r.phases[1].num_vertices < 200
+        assert r.total_iterations == len(r.iterations)
+
+    def test_max_phases_respected(self, planted_blocks):
+        r = louvain(planted_blocks, LouvainConfig(max_phases=1))
+        assert r.num_phases == 1
+
+    def test_max_iterations_respected(self, planted_blocks):
+        r = louvain(planted_blocks, LouvainConfig(max_iterations=1))
+        assert all(p.num_iterations == 1 for p in r.phases)
+
+    def test_loose_tau_stops_earlier(self, planted_blocks):
+        tight = louvain(planted_blocks, LouvainConfig(tau=1e-8))
+        loose = louvain(planted_blocks, LouvainConfig(tau=0.05))
+        assert loose.total_iterations <= tight.total_iterations
+
+    def test_deterministic(self, planted_blocks):
+        r1 = louvain(planted_blocks)
+        r2 = louvain(planted_blocks)
+        np.testing.assert_array_equal(r1.assignment, r2.assignment)
+        assert r1.modularity == r2.modularity
+
+    def test_track_assignments(self, two_cliques):
+        r = louvain(two_cliques, LouvainConfig(track_assignments=True))
+        assert r.phase_assignments is not None
+        assert len(r.phase_assignments) == r.num_phases
+        for pa in r.phase_assignments:
+            assert len(pa) == 10
+
+
+class TestLouvainVariants:
+    @pytest.mark.parametrize("alpha", [0.25, 0.75, 1.0])
+    def test_et_quality_close_to_baseline(self, planted_blocks, alpha):
+        base = louvain(planted_blocks)
+        et = louvain(
+            planted_blocks, LouvainConfig(variant=Variant.ET, alpha=alpha)
+        )
+        assert et.modularity >= base.modularity - 0.05
+
+    def test_etc_exits_on_inactive(self, planted_blocks):
+        cfg = LouvainConfig(variant=Variant.ETC, alpha=0.9)
+        r = louvain(planted_blocks, cfg)
+        assert r.modularity > 0.7
+
+    def test_threshold_cycling_runs_final_pass(self, planted_blocks):
+        r = louvain(
+            planted_blocks, LouvainConfig(variant=Variant.THRESHOLD_CYCLING)
+        )
+        base = louvain(planted_blocks)
+        assert r.modularity >= base.modularity - 0.03
+        # Last recorded phase must have used the lowest threshold.
+        assert r.phases[-1].tau == pytest.approx(1e-6)
+
+    def test_et_alpha0_matches_baseline_quality(self, planted_blocks):
+        base = louvain(planted_blocks)
+        et0 = louvain(planted_blocks, LouvainConfig(variant=Variant.ET, alpha=0.0))
+        assert et0.modularity == pytest.approx(base.modularity, abs=1e-9)

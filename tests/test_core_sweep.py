@@ -1,0 +1,152 @@
+"""Unit tests for the snapshot move-selection kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import modularity, move_gain, propose_moves, sorted_lookup
+from repro.core.sweep import array_lookup
+from repro.graph import CSRGraph, EdgeList
+
+
+def dense_sweep(g: CSRGraph, comm: np.ndarray, active=None):
+    """Helper: run propose_moves with dense (shared-memory) lookups."""
+    n = g.num_vertices
+    k = g.degrees()
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.index))
+    tot = np.zeros(n)
+    np.add.at(tot, comm, k)
+    size = np.bincount(comm, minlength=n)
+    return propose_moves(
+        index=g.index,
+        target_comm=comm[g.edges],
+        weights=g.weights,
+        self_mask=g.edges == rows,
+        degrees=k,
+        cur_comm=comm,
+        total_weight=g.total_weight,
+        tot_lookup=lambda ids: tot[ids],
+        size_lookup=lambda ids: size[ids],
+        active=active,
+    )
+
+
+class TestProposeMoves:
+    def test_singleton_joins_adjacent_clique(self, two_cliques):
+        comm = np.array([9] + [0] * 4 + [5] * 5, dtype=np.int64)
+        res = dense_sweep(two_cliques, comm)
+        assert res.proposal[0] == 0
+        assert res.moved[0]
+
+    def test_settled_partition_stable(self, two_cliques):
+        comm = np.array([0] * 5 + [5] * 5, dtype=np.int64)
+        res = dense_sweep(two_cliques, comm)
+        assert res.num_moves == 0
+        np.testing.assert_array_equal(res.proposal, comm)
+
+    def test_moves_only_with_positive_gain(self, planted_blocks):
+        # From singletons, every accepted move must not decrease Q when
+        # applied alone (the score is gain-equivalent).
+        g = planted_blocks
+        comm = np.arange(g.num_vertices, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        rng = np.random.default_rng(0)
+        movers = np.flatnonzero(res.moved)
+        for u in rng.choice(movers, size=min(10, len(movers)), replace=False):
+            gain = move_gain(g, comm, int(u), int(res.proposal[u]))
+            assert gain > 0
+
+    def test_chosen_move_is_argmax(self, planted_blocks):
+        # The proposed target must beat every other candidate in exact ΔQ.
+        g = planted_blocks
+        comm = np.arange(g.num_vertices, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        u = int(np.flatnonzero(res.moved)[0])
+        nbrs, _ = g.neighbors(u)
+        best = move_gain(g, comm, u, int(res.proposal[u]))
+        for t in set(int(comm[v]) for v in nbrs if v != u):
+            assert best >= move_gain(g, comm, u, t) - 1e-9
+
+    def test_inactive_vertices_frozen(self, two_cliques):
+        comm = np.array([9] + [0] * 4 + [5] * 5, dtype=np.int64)
+        active = np.ones(10, dtype=bool)
+        active[0] = False
+        res = dense_sweep(two_cliques, comm, active)
+        assert not res.moved[0]
+        assert res.proposal[0] == 9
+
+    def test_all_inactive_noop(self, two_cliques):
+        comm = np.arange(10, dtype=np.int64)
+        res = dense_sweep(two_cliques, comm, np.zeros(10, dtype=bool))
+        assert res.num_moves == 0
+        assert res.pairs_evaluated == 0
+
+    def test_singleton_swap_suppressed(self):
+        # Two connected singletons: only the larger id may move.
+        g = EdgeList.from_arrays(2, [0], [1]).to_csr()
+        comm = np.arange(2, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        assert res.proposal[0] == 0  # vertex 0 stays (target id larger)
+        assert res.proposal[1] == 0  # vertex 1 moves down
+        # One more sweep from the merged state: stable.
+        res2 = dense_sweep(g, res.proposal)
+        assert res2.num_moves == 0
+
+    def test_tie_breaks_to_smallest_community(self):
+        # Path 1 - 0 - 2: vertex 0 gains equally joining 1 or 2.
+        g = EdgeList.from_arrays(3, [0, 0], [1, 2]).to_csr()
+        comm = np.arange(3, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        assert res.proposal[0] == 0 or res.proposal[0] == 1
+        # Tie-break rule: among equal scores the smallest community wins,
+        # and vertex 0's own community (0) is the smallest — no move.
+        # Vertices 1 and 2 strictly gain by joining 0 (smaller id rule).
+        assert res.proposal[1] == 0
+        assert res.proposal[2] == 0
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(0)
+        res = dense_sweep(g, np.empty(0, dtype=np.int64))
+        assert res.num_moves == 0
+
+    def test_isolated_vertices_never_move(self):
+        g = CSRGraph.empty(4)
+        comm = np.arange(4, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        assert res.num_moves == 0
+
+    def test_self_loop_only_vertex_stays(self):
+        g = CSRGraph.from_edges(2, [0, 0], [0, 1], [5.0, 1.0])
+        comm = np.arange(2, dtype=np.int64)
+        res = dense_sweep(g, comm)
+        # Vertex 1 joining 0 is profitable; 0 must not chase its loop.
+        assert res.proposal[0] == 0
+
+
+class TestLookups:
+    def test_sorted_lookup_hits(self):
+        look = sorted_lookup(
+            np.array([2, 5, 9]), np.array([20.0, 50.0, 90.0])
+        )
+        np.testing.assert_allclose(
+            look(np.array([9, 2, 5, 2])), [90.0, 20.0, 50.0, 20.0]
+        )
+
+    def test_sorted_lookup_miss_raises(self):
+        look = sorted_lookup(np.array([2, 5]), np.array([1.0, 2.0]))
+        with pytest.raises(KeyError, match="missing"):
+            look(np.array([3]))
+
+    def test_sorted_lookup_miss_past_end(self):
+        look = sorted_lookup(np.array([2, 5]), np.array([1.0, 2.0]))
+        with pytest.raises(KeyError):
+            look(np.array([99]))
+
+    def test_sorted_lookup_empty_table(self):
+        look = sorted_lookup(np.empty(0, np.int64), np.empty(0))
+        assert len(look(np.empty(0, np.int64))) == 0
+        with pytest.raises(KeyError):
+            look(np.array([1]))
+
+    def test_array_lookup_dense(self):
+        look = array_lookup(None, np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose(look(np.array([2, 0])), [30.0, 10.0])

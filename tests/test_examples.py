@@ -1,0 +1,57 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Only the fast examples run here (the full set is exercised manually /
+in benchmarks); each must exit 0 and print its key result lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "communities found:" in proc.stdout
+    assert "trace over 8 rank(s)" in proc.stdout
+
+
+def test_binary_file_pipeline():
+    proc = run_example("binary_file_pipeline.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "modelled I/O share" in proc.stdout
+    assert "communities found:" in proc.stdout
+
+
+@pytest.mark.slow
+def test_social_network_analysis():
+    proc = run_example("social_network_analysis.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "F-score" in proc.stdout
+
+
+@pytest.mark.slow
+def test_dynamic_communities():
+    proc = run_example("dynamic_communities.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "churn batches" in proc.stdout
+
+
+@pytest.mark.slow
+def test_scaling_study():
+    proc = run_example("scaling_study.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "extrapolated strong scaling" in proc.stdout

@@ -1,0 +1,74 @@
+"""Unit tests for the LFR benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import louvain
+from repro.generators import generate_lfr
+from repro.quality import best_match_scores
+
+
+class TestGenerateLFR:
+    def test_all_vertices_assigned(self):
+        g = generate_lfr(400, seed=0)
+        assert len(g.community_of) == 400
+        assert g.community_of.min() >= 0
+
+    def test_mixing_parameter_approximated(self):
+        for mu in (0.1, 0.3, 0.5):
+            g = generate_lfr(800, mu=mu, seed=1)
+            assert abs(g.mu_realized - mu) < 0.08, (mu, g.mu_realized)
+
+    def test_community_sizes_bounded(self):
+        g = generate_lfr(600, min_community=10, max_community=40, seed=2)
+        sizes = np.bincount(g.community_of)
+        sizes = sizes[sizes > 0]
+        assert sizes.max() <= 40 + 40  # tail absorption may exceed max once
+        assert np.median(sizes) >= 10
+
+    def test_degrees_bounded(self):
+        g = generate_lfr(500, max_degree=30, seed=3)
+        degs = g.edges.to_csr().edge_counts()
+        # Configuration-model collisions only remove edges.
+        assert degs.max() <= 30
+
+    def test_low_mu_louvain_recovers_ground_truth(self):
+        # Larger communities sidestep the resolution limit at this scale.
+        g = generate_lfr(600, mu=0.1, min_community=25, max_community=60,
+                         seed=4)
+        r = louvain(g.edges.to_csr())
+        scores = best_match_scores(g.community_of, r.assignment)
+        assert scores.fscore > 0.9
+        assert scores.recall == 1.0  # the Table VII pattern
+
+    def test_small_communities_merge_but_recall_stays_one(self):
+        # At small scale Louvain's resolution limit merges ground-truth
+        # communities: recall 1.0, precision < 1 (paper Table VII shape).
+        g = generate_lfr(500, mu=0.1, seed=4)
+        r = louvain(g.edges.to_csr())
+        scores = best_match_scores(g.community_of, r.assignment)
+        assert scores.recall == 1.0
+        assert 0.6 < scores.precision <= 1.0
+
+    def test_higher_mu_lowers_modularity(self):
+        lo = generate_lfr(600, mu=0.1, seed=5)
+        hi = generate_lfr(600, mu=0.5, seed=5)
+        q_lo = louvain(lo.edges.to_csr()).modularity
+        q_hi = louvain(hi.edges.to_csr()).modularity
+        assert q_lo > q_hi
+
+    def test_deterministic(self):
+        a = generate_lfr(300, seed=9)
+        b = generate_lfr(300, seed=9)
+        np.testing.assert_array_equal(a.edges.u, b.edges.u)
+        np.testing.assert_array_equal(a.community_of, b.community_of)
+
+    def test_num_communities_reported(self):
+        g = generate_lfr(400, seed=10)
+        assert g.num_communities == len(np.unique(g.community_of))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_lfr(5, min_community=10)
+        with pytest.raises(ValueError):
+            generate_lfr(100, mu=1.5)

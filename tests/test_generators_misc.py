@@ -1,0 +1,161 @@
+"""Unit tests for R-MAT, mesh, web-crawl and small-world generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    generate_banded,
+    generate_grid3d,
+    generate_rmat,
+    generate_smallworld,
+    generate_webgraph,
+)
+from repro.graph.metrics import graph_stats, is_connected
+
+
+class TestRMAT:
+    def test_vertex_count_power_of_two(self):
+        el = generate_rmat(8, edge_factor=8, seed=0)
+        assert el.num_vertices == 256
+
+    def test_skewed_degrees(self):
+        el = generate_rmat(10, edge_factor=16, seed=1)
+        s = graph_stats(el.to_csr())
+        assert s.degree_cv > 1.0  # heavy tail
+        assert s.max_degree > 10 * s.mean_degree / 2
+
+    def test_no_self_loops_by_default(self):
+        el = generate_rmat(7, seed=2)
+        assert np.all(el.u != el.v)
+
+    def test_self_loops_kept_when_asked(self):
+        el = generate_rmat(7, seed=2, drop_self_loops=False)
+        assert np.any(el.u == el.v)  # R-MAT always produces some
+
+    def test_uniform_quadrants_flatten_degrees(self):
+        skew = generate_rmat(9, a=0.7, b=0.1, c=0.1, seed=3)
+        flat = generate_rmat(9, a=0.25, b=0.25, c=0.25, seed=3)
+        assert (
+            graph_stats(skew.to_csr()).degree_cv
+            > graph_stats(flat.to_csr()).degree_cv
+        )
+
+    def test_deterministic(self):
+        a = generate_rmat(6, seed=5)
+        b = generate_rmat(6, seed=5)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_rmat(0)
+        with pytest.raises(ValueError):
+            generate_rmat(5, a=0.5, b=0.3, c=0.3)
+
+
+class TestGrid3D:
+    def test_vertex_count(self):
+        el = generate_grid3d(4, 5, 6)
+        assert el.num_vertices == 120
+
+    def test_6_connectivity_edge_count(self):
+        # nx*ny*nz grid: edges = (nx-1)ny nz + nx(ny-1)nz + nx ny(nz-1).
+        el = generate_grid3d(3, 4, 5, connectivity=6)
+        expected = 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+        assert el.num_edges == expected
+
+    def test_18_has_more_edges(self):
+        e6 = generate_grid3d(4, 4, 4, connectivity=6).num_edges
+        e18 = generate_grid3d(4, 4, 4, connectivity=18).num_edges
+        assert e18 > e6
+
+    def test_connected(self):
+        assert is_connected(generate_grid3d(3, 3, 3).to_csr())
+
+    def test_jitter_adds_edges(self):
+        base = generate_grid3d(4, 4, 4, seed=1).num_edges
+        jit = generate_grid3d(4, 4, 4, seed=1, jitter_fraction=0.2).num_edges
+        assert jit > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_grid3d(0, 2, 2)
+        with pytest.raises(ValueError):
+            generate_grid3d(2, 2, 2, connectivity=26)
+
+
+class TestBanded:
+    def test_band_structure(self):
+        el = generate_banded(100, bandwidth=5, density=1.0, seed=0)
+        assert np.all(np.abs(el.u - el.v) <= 5)
+
+    def test_full_density_edge_count(self):
+        el = generate_banded(50, bandwidth=3, density=1.0)
+        assert el.num_edges == 49 + 48 + 47
+
+    def test_density_scales_edges(self):
+        lo = generate_banded(200, 8, density=0.3, seed=1).num_edges
+        hi = generate_banded(200, 8, density=0.9, seed=1).num_edges
+        assert hi > 2 * lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_banded(10, bandwidth=0)
+        with pytest.raises(ValueError):
+            generate_banded(10, bandwidth=2, density=0.0)
+
+
+class TestWebGraph:
+    def test_hosts_cover_vertices(self):
+        g = generate_webgraph(500, seed=0)
+        assert len(g.host_of) == 500
+        assert g.num_hosts > 1
+
+    def test_hosts_internally_connected(self):
+        g = generate_webgraph(300, inter_fraction=0.0, seed=1)
+        csr = g.edges.to_csr()
+        # Every vertex has at least one neighbour on the same host.
+        for u in range(csr.num_vertices):
+            nbrs, _ = csr.neighbors(u)
+            assert any(g.host_of[v] == g.host_of[u] for v in nbrs)
+
+    def test_inter_fraction_controls_cut(self):
+        lo = generate_webgraph(400, inter_fraction=0.01, seed=2)
+        hi = generate_webgraph(400, inter_fraction=0.3, seed=2)
+        def cut_frac(g):
+            cross = g.host_of[g.edges.u] != g.host_of[g.edges.v]
+            return cross.mean()
+        assert cut_frac(lo) < cut_frac(hi)
+
+    def test_heavy_tailed_host_sizes(self):
+        g = generate_webgraph(2000, mean_host_size=30, seed=3)
+        sizes = np.bincount(g.host_of)
+        assert sizes.max() > 2.0 * sizes.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_webgraph(1)
+
+
+class TestSmallWorld:
+    def test_ring_degree_without_rewiring(self):
+        el = generate_smallworld(50, neighbors=6, rewire_probability=0.0)
+        degs = el.to_csr().edge_counts()
+        np.testing.assert_array_equal(degs, np.full(50, 6))
+
+    def test_rewiring_perturbs(self):
+        base = generate_smallworld(100, 6, rewire_probability=0.0, seed=1)
+        rew = generate_smallworld(100, 6, rewire_probability=0.5, seed=1)
+        assert set(zip(base.u, base.v)) != set(zip(rew.u, rew.v))
+
+    def test_edge_count_stable_under_rewiring(self):
+        el = generate_smallworld(200, 8, rewire_probability=0.3, seed=2)
+        # Rewiring + dedup can only lose a few edges.
+        assert el.num_edges > 0.9 * 200 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_smallworld(2)
+        with pytest.raises(ValueError):
+            generate_smallworld(10, neighbors=3)
+        with pytest.raises(ValueError):
+            generate_smallworld(10, rewire_probability=1.5)

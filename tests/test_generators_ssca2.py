@@ -1,0 +1,80 @@
+"""Unit tests for the SSCA#2 generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import louvain, modularity
+from repro.generators import generate_ssca2, weak_scaling_series
+
+
+class TestGenerateSSCA2:
+    def test_covers_all_vertices(self):
+        g = generate_ssca2(500, max_clique_size=20, seed=0)
+        assert len(g.clique_of) == 500
+        assert g.edges.num_vertices == 500
+
+    def test_clique_sizes_bounded(self):
+        g = generate_ssca2(500, max_clique_size=15, seed=1)
+        sizes = np.bincount(g.clique_of)
+        assert sizes.max() <= 15
+        assert sizes.min() >= 1
+
+    def test_cliques_fully_connected(self):
+        g = generate_ssca2(120, max_clique_size=10,
+                           inter_clique_fraction=0.0, seed=2)
+        csr = g.edges.to_csr()
+        sizes = np.bincount(g.clique_of)
+        # With no inter edges, each vertex's degree is its clique size - 1.
+        degs = csr.edge_counts()
+        np.testing.assert_array_equal(degs, sizes[g.clique_of] - 1)
+
+    def test_inter_fraction_controls_cut_edges(self):
+        low = generate_ssca2(400, 15, inter_clique_fraction=0.005, seed=3)
+        high = generate_ssca2(400, 15, inter_clique_fraction=0.2, seed=3)
+        def cut(g):
+            return int(
+                (g.clique_of[g.edges.u] != g.clique_of[g.edges.v]).sum()
+            )
+        assert cut(low) < cut(high)
+
+    def test_near_perfect_modularity_like_table5(self):
+        # Table V reports modularity ~0.99998 for SSCA#2 inputs.
+        g = generate_ssca2(600, 20, inter_clique_fraction=0.003, seed=4)
+        q = modularity(g.edges.to_csr(), g.clique_of)
+        assert q > 0.94
+
+    def test_louvain_recovers_cliques(self):
+        g = generate_ssca2(300, 15, inter_clique_fraction=0.002, seed=5)
+        r = louvain(g.edges.to_csr())
+        assert r.modularity > 0.94
+
+    def test_deterministic(self):
+        a = generate_ssca2(200, 10, seed=7)
+        b = generate_ssca2(200, 10, seed=7)
+        np.testing.assert_array_equal(a.edges.u, b.edges.u)
+        np.testing.assert_array_equal(a.clique_of, b.clique_of)
+
+    def test_single_vertex(self):
+        g = generate_ssca2(1, max_clique_size=5)
+        assert g.edges.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ssca2(0)
+        with pytest.raises(ValueError):
+            generate_ssca2(10, max_clique_size=0)
+        with pytest.raises(ValueError):
+            generate_ssca2(10, inter_clique_fraction=-0.1)
+
+
+class TestWeakScalingSeries:
+    def test_sizes_proportional_to_processes(self):
+        series = weak_scaling_series(100, [1, 2, 4], max_clique_size=10)
+        assert [p for p, _ in series] == [1, 2, 4]
+        assert [g.edges.num_vertices for _, g in series] == [100, 200, 400]
+
+    def test_edges_scale_roughly_linearly(self):
+        series = weak_scaling_series(200, [1, 4], max_clique_size=10)
+        m1 = series[0][1].edges.num_edges
+        m4 = series[1][1].edges.num_edges
+        assert 2.5 < m4 / m1 < 6.0

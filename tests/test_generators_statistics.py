@@ -1,0 +1,163 @@
+"""Statistical validation of the generators' distributional claims.
+
+The dataset registry's substitution argument (DESIGN.md §2) rests on
+stand-ins preserving *structure class*: degree skew, community strength,
+diameter class.  These tests pin the statistics down quantitatively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    generate_grid3d,
+    generate_lfr,
+    generate_rmat,
+    generate_smallworld,
+    generate_ssca2,
+    generate_webgraph,
+)
+from repro.graph.metrics import graph_stats
+
+
+def loglog_slope(degrees: np.ndarray) -> float:
+    """Least-squares slope of the log-log degree CCDF (tail exponent)."""
+    degrees = degrees[degrees > 0]
+    values, counts = np.unique(degrees, return_counts=True)
+    ccdf = 1.0 - np.cumsum(counts) / counts.sum()
+    keep = ccdf > 0
+    x = np.log(values[keep].astype(float))
+    y = np.log(ccdf[keep])
+    if len(x) < 3:
+        return 0.0
+    slope = np.polyfit(x, y, 1)[0]
+    return float(slope)
+
+
+class TestRMATStatistics:
+    def test_heavy_tail_slope(self):
+        el = generate_rmat(11, edge_factor=16, seed=0)
+        slope = loglog_slope(el.to_csr().edge_counts())
+        # Power-law-ish tail: CCDF slope clearly negative and shallow
+        # compared to an exponential decay.
+        assert -3.0 < slope < -0.5
+
+    def test_flat_quadrants_lose_the_tail(self):
+        skew = generate_rmat(10, a=0.7, b=0.1, c=0.1, seed=1)
+        flat = generate_rmat(10, a=0.25, b=0.25, c=0.25, seed=1)
+        assert (
+            graph_stats(skew.to_csr()).degree_cv
+            > 2 * graph_stats(flat.to_csr()).degree_cv
+        )
+
+
+class TestLFRStatistics:
+    def test_degree_mean_near_target(self):
+        g = generate_lfr(1500, avg_degree=16.0, max_degree=60, seed=2)
+        # Weighted degree is what the configuration model conserves
+        # (duplicate stub pairings merge into weighted edges).
+        mean_weighted = g.edges.to_csr().degrees().mean()
+        assert 13.0 < mean_weighted <= 17.0
+
+    def test_community_size_powerlaw_ordering(self):
+        g = generate_lfr(
+            2000, tau2=1.2, min_community=10, max_community=80, seed=3
+        )
+        sizes = np.bincount(g.community_of)
+        sizes = sizes[sizes > 0]
+        # Power-law sizes: many small, few large.
+        median = np.median(sizes)
+        assert sizes.max() > 2 * median
+
+    def test_mixing_sweep_monotone(self):
+        realized = []
+        for mu in (0.1, 0.2, 0.4):
+            g = generate_lfr(800, mu=mu, seed=4)
+            realized.append(g.mu_realized)
+        assert realized[0] < realized[1] < realized[2]
+
+
+class TestSSCA2Statistics:
+    def test_clique_size_distribution_uniformish(self):
+        g = generate_ssca2(5000, max_clique_size=20, seed=5)
+        sizes = np.bincount(g.clique_of)
+        # Uniform draws in [1, 20]: mean ~10.5, all values present.
+        assert 8.0 < sizes.mean() < 13.0
+        assert sizes.min() >= 1
+        assert sizes.max() <= 20
+
+    def test_intra_edges_dominate(self):
+        g = generate_ssca2(1000, 15, inter_clique_fraction=0.01, seed=6)
+        cut = g.clique_of[g.edges.u] != g.clique_of[g.edges.v]
+        assert cut.mean() < 0.02
+
+
+class TestWebGraphStatistics:
+    def test_host_size_tail(self):
+        g = generate_webgraph(3000, mean_host_size=25, seed=7)
+        sizes = np.bincount(g.host_of)
+        assert sizes.max() >= 3 * np.median(sizes)
+
+    def test_low_cut_fraction_like_crawls(self):
+        g = generate_webgraph(1500, inter_fraction=0.01, seed=8)
+        cut = g.host_of[g.edges.u] != g.host_of[g.edges.v]
+        assert cut.mean() < 0.03
+
+
+class TestSmallWorldStatistics:
+    def test_high_clustering_vs_random(self):
+        # Small-world signature: clustering far above a degree-matched
+        # random graph.  Count triangles via the adjacency structure.
+        def clustering(el):
+            g = el.to_csr()
+            tri = 0
+            wedges = 0
+            adj = [set(map(int, g.neighbors(u)[0])) for u in
+                   range(g.num_vertices)]
+            for u in range(g.num_vertices):
+                nbrs = [v for v in adj[u] if v != u]
+                wedges += len(nbrs) * (len(nbrs) - 1) // 2
+                for i, a in enumerate(nbrs):
+                    for b in nbrs[i + 1:]:
+                        if b in adj[a]:
+                            tri += 1
+            return tri / wedges if wedges else 0.0
+
+        sw = generate_smallworld(300, neighbors=6,
+                                 rewire_probability=0.05, seed=9)
+        rnd = generate_rmat(8, edge_factor=3, a=0.25, b=0.25, c=0.25,
+                            seed=9)
+        assert clustering(sw) > 0.3
+        assert clustering(sw) > 3 * clustering(rnd)
+
+    def test_near_regular_degrees(self):
+        el = generate_smallworld(400, neighbors=8,
+                                 rewire_probability=0.1, seed=10)
+        assert graph_stats(el.to_csr()).degree_cv < 0.2
+
+
+class TestGrid3DStatistics:
+    def test_bounded_degree(self):
+        el = generate_grid3d(6, 6, 6, connectivity=18)
+        assert el.to_csr().edge_counts().max() <= 18
+
+    def test_diameter_class_is_large(self):
+        # Meshes have large diameter (vs log n for small worlds): the
+        # BFS eccentricity of a corner exceeds the grid side length sum
+        # heuristic lower bound.
+        from repro.graph.metrics import connected_components
+
+        el = generate_grid3d(8, 4, 4, connectivity=6)
+        g = el.to_csr()
+        # BFS from vertex 0.
+        dist = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in g.neighbors(u)[0]:
+                    if int(v) not in dist:
+                        dist[int(v)] = dist[u] + 1
+                        nxt.append(int(v))
+            frontier = nxt
+        assert max(dist.values()) == (8 - 1) + (4 - 1) + (4 - 1)
+        assert np.all(connected_components(g) == 0)

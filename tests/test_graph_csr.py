@@ -1,0 +1,152 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+
+
+def small_graph():
+    # Triangle 0-1-2, pendant 3, self loop at 0.
+    return CSRGraph.from_edges(
+        4, [0, 1, 0, 2, 0], [1, 2, 2, 3, 0], [1.0, 2.0, 3.0, 4.0, 0.5]
+    )
+
+
+class TestConstruction:
+    def test_shape(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 5
+        # 4 non-loop edges stored twice + 1 loop stored once.
+        assert g.nnz == 9
+
+    def test_total_weight_convention(self):
+        g = small_graph()
+        assert g.total_weight == pytest.approx(2 * (1 + 2 + 3 + 4) + 0.5)
+
+    def test_degrees(self):
+        g = small_graph()
+        np.testing.assert_allclose(g.degrees(), [4.5, 3.0, 9.0, 4.0])
+
+    def test_self_loops(self):
+        g = small_graph()
+        np.testing.assert_allclose(g.self_loop_weights(), [0.5, 0, 0, 0])
+
+    def test_unweighted_default(self):
+        g = CSRGraph.from_edges(3, [0, 1], [1, 2])
+        assert g.total_weight == pytest.approx(4.0)
+
+    def test_duplicate_edges_combine(self):
+        g = CSRGraph.from_edges(2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 3.0])
+        assert g.num_edges == 1
+        nbrs, w = g.neighbors(0)
+        assert list(nbrs) == [1]
+        assert w[0] == pytest.approx(6.0)
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.total_weight == 0.0
+        np.testing.assert_array_equal(g.degrees(), np.zeros(5))
+
+    def test_zero_vertices(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [0], [5])
+
+    def test_negative_vertex(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [-1], [0])
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, [0, 1], [1])
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                index=np.array([0, 2, 1], dtype=np.int64),
+                edges=np.array([0, 1], dtype=np.int64),
+                weights=np.ones(2),
+            )
+
+
+class TestAccess:
+    def test_neighbors_view(self):
+        g = small_graph()
+        nbrs, w = g.neighbors(0)
+        assert set(map(int, nbrs)) == {0, 1, 2}
+
+    def test_iter_edges_each_once(self):
+        g = small_graph()
+        edges = sorted(g.iter_edges())
+        assert edges == [
+            (0, 0, 0.5),
+            (0, 1, 1.0),
+            (0, 2, 3.0),
+            (1, 2, 2.0),
+            (2, 3, 4.0),
+        ]
+
+    def test_edge_array_matches_iter(self):
+        g = small_graph()
+        eu, ev, ew = g.edge_array()
+        from_iter = sorted(g.iter_edges())
+        from_arr = sorted(zip(eu.tolist(), ev.tolist(), ew.tolist()))
+        assert from_arr == from_iter
+
+    def test_edge_counts(self):
+        g = small_graph()
+        np.testing.assert_array_equal(g.edge_counts(), [3, 2, 3, 1])
+
+    def test_validate_good_graph(self):
+        small_graph().validate()
+
+    def test_validate_detects_asymmetry(self):
+        g = CSRGraph(
+            index=np.array([0, 1, 1], dtype=np.int64),
+            edges=np.array([1], dtype=np.int64),
+            weights=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="asymmetric"):
+            g.validate()
+
+    def test_validate_detects_out_of_range_target(self):
+        g = CSRGraph(
+            index=np.array([0, 1], dtype=np.int64),
+            edges=np.array([7], dtype=np.int64),
+            weights=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            g.validate()
+
+
+class TestRelabel:
+    def test_relabel_preserves_structure(self):
+        g = small_graph()
+        perm = np.array([3, 2, 1, 0])
+        h = g.relabel(perm)
+        assert h.num_edges == g.num_edges
+        assert h.total_weight == pytest.approx(g.total_weight)
+        # Degree multiset is preserved.
+        assert sorted(h.degrees()) == sorted(g.degrees())
+
+    def test_relabel_identity(self):
+        g = small_graph()
+        h = g.relabel(np.arange(4))
+        np.testing.assert_array_equal(h.edges, g.edges)
+
+    def test_relabel_requires_permutation(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.relabel(np.array([0, 0, 1, 2]))
+
+    def test_relabel_wrong_length(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.relabel(np.arange(3))

@@ -1,0 +1,109 @@
+"""Unit tests for distributed graph algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, DistGraph, EdgeList, connected_components
+from repro.graph.distalgo import (
+    distributed_components,
+    distributed_degree_histogram,
+    distributed_num_components,
+    distributed_total_weight,
+)
+from repro.runtime import FREE, run_spmd
+
+from .conftest import planted_blocks_graph, random_graph
+
+
+def run_components(g, nranks):
+    def prog(comm):
+        dg = DistGraph.distribute(comm, g, partition="even_vertex")
+        return distributed_components(comm, dg).tolist()
+
+    r = run_spmd(nranks, prog, machine=FREE, timeout=30.0)
+    return np.array([x for v in r.values for x in v])
+
+
+class TestDistributedComponents:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_serial(self, nranks):
+        g = EdgeList.from_arrays(
+            9, [0, 1, 3, 4, 6, 7], [1, 2, 4, 5, 7, 8]
+        ).to_csr()
+        labels = run_components(g, nranks)
+        serial = connected_components(g)
+        np.testing.assert_array_equal(labels, serial)
+
+    def test_connected_graph_single_label(self, planted_blocks):
+        labels = run_components(planted_blocks, 3)
+        assert np.all(labels == 0)
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.empty(5)
+        labels = run_components(g, 2)
+        np.testing.assert_array_equal(labels, np.arange(5))
+
+    def test_random_graphs_match_serial(self):
+        for seed in range(4):
+            g = random_graph(np.random.default_rng(seed), 25, 20)
+            labels = run_components(g, 3)
+            np.testing.assert_array_equal(labels, connected_components(g))
+
+    def test_long_path_worst_case(self):
+        # Diameter-bound propagation: a path needs n-1 rounds.
+        n = 20
+        g = EdgeList.from_arrays(n, np.arange(n - 1), np.arange(1, n)).to_csr()
+        labels = run_components(g, 4)
+        assert np.all(labels == 0)
+
+
+class TestNumComponents:
+    def test_counts(self):
+        g = EdgeList.from_arrays(
+            7, [0, 1, 3, 4], [1, 2, 4, 5]
+        ).to_csr()  # components: {0,1,2}, {3,4,5}, {6}
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g, partition="even_vertex")
+            return distributed_num_components(comm, dg)
+
+        r = run_spmd(3, prog, machine=FREE, timeout=30.0)
+        assert r.values == [3, 3, 3]
+
+
+class TestDegreeHistogram:
+    def test_total_count_matches_vertices(self, planted_blocks):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, planted_blocks)
+            edges, counts = distributed_degree_histogram(comm, dg)
+            return int(counts.sum()), edges.tolist()
+
+        r = run_spmd(4, prog, machine=FREE, timeout=30.0)
+        for total, edges in r.values:
+            assert total == planted_blocks.num_vertices
+        # All ranks agree on the bin edges.
+        assert len({tuple(e) for _, e in r.values}) == 1
+
+    def test_star_histogram_has_hub_bin(self, star_graph):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, star_graph, "even_vertex")
+            return distributed_degree_histogram(comm, dg)
+
+        edges, counts = run_spmd(
+            2, prog, machine=FREE, timeout=30.0
+        ).values[0]
+        # 8 leaves of degree 1 and one hub of degree 8.
+        assert counts.sum() == 9
+        assert edges.max() >= 8
+
+
+class TestTotalWeight:
+    @pytest.mark.parametrize("nranks", [1, 3, 5])
+    def test_matches_graph(self, planted_blocks, nranks):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, planted_blocks)
+            return distributed_total_weight(comm, dg)
+
+        r = run_spmd(nranks, prog, machine=FREE, timeout=30.0)
+        for v in r.values:
+            assert v == pytest.approx(planted_blocks.total_weight)

@@ -1,0 +1,206 @@
+"""Unit tests for the distributed graph: slicing, ghosts, exchange, ingest."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, DistGraph, EdgeList, write_edgelist
+from repro.runtime import FREE, run_spmd
+
+from .conftest import planted_blocks_graph
+
+
+def ring_graph(n=8):
+    return EdgeList.from_arrays(
+        n, np.arange(n), (np.arange(n) + 1) % n
+    ).to_csr()
+
+
+def spmd(size, fn, *args, **kw):
+    return run_spmd(size, fn, *args, machine=FREE, timeout=15.0, **kw)
+
+
+class TestFromGlobal:
+    def test_slices_cover_graph(self):
+        g = ring_graph(10)
+        offsets = np.array([0, 4, 7, 10])
+        parts = [DistGraph.from_global(g, offsets, r) for r in range(3)]
+        assert sum(p.num_local for p in parts) == 10
+        assert sum(p.num_local_entries for p in parts) == g.nnz
+        total = sum(p.local_degrees().sum() for p in parts)
+        assert total == pytest.approx(g.total_weight)
+
+    def test_row_targets_are_global(self):
+        g = ring_graph(6)
+        offsets = np.array([0, 3, 6])
+        p1 = DistGraph.from_global(g, offsets, 1)
+        nbrs, _ = p1.row(0)  # local vertex 0 == global 3
+        assert set(map(int, nbrs)) == {2, 4}
+
+    def test_owner(self):
+        g = ring_graph(6)
+        dg = DistGraph.from_global(g, np.array([0, 3, 6]), 0)
+        np.testing.assert_array_equal(
+            dg.owner(np.array([0, 2, 3, 5])), [0, 0, 1, 1]
+        )
+
+    def test_partition_must_cover(self):
+        g = ring_graph(6)
+        with pytest.raises(ValueError):
+            DistGraph.from_global(g, np.array([0, 3, 5]), 0)
+
+    def test_local_self_loops(self):
+        g = CSRGraph.from_edges(4, [0, 1, 1], [1, 2, 1], [1.0, 1.0, 2.5])
+        dg = DistGraph.from_global(g, np.array([0, 2, 4]), 0)
+        np.testing.assert_allclose(dg.local_self_loops(), [0.0, 2.5])
+
+
+class TestGhostPlan:
+    def test_ring_neighbors(self):
+        g = ring_graph(8)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g, partition="even_vertex")
+            plan = dg.build_ghost_plan(comm)
+            return sorted(plan.ghost_ids.tolist()), plan.neighbor_ranks()
+
+        r = spmd(4, prog)
+        # Rank 1 owns {2,3}: ghosts are 1 and 4, owned by ranks 0 and 2.
+        ghosts, nbrs = r.values[1]
+        assert ghosts == [1, 4]
+        assert nbrs == [0, 2]
+
+    def test_plan_symmetry(self):
+        g = planted_blocks_graph(blocks=4, per_block=10, seed=3)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            plan = dg.build_ghost_plan(comm)
+            send = {r: ids.tolist() for r, ids in plan.send_ids.items()}
+            recv = {r: ids.tolist() for r, ids in plan.recv_ids.items()}
+            return send, recv
+
+        r = spmd(3, prog)
+        for a in range(3):
+            for b in range(3):
+                if a == b:
+                    continue
+                sends = r.values[a][0].get(b, [])
+                recvs = r.values[b][1].get(a, [])
+                assert sorted(sends) == sorted(recvs)
+
+    def test_plan_cached(self):
+        g = ring_graph(6)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            p1 = dg.build_ghost_plan(comm)
+            p2 = dg.build_ghost_plan(comm)
+            return p1 is p2
+
+        assert all(spmd(3, prog).values)
+
+    def test_single_rank_no_ghosts(self):
+        g = ring_graph(6)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            return dg.build_ghost_plan(comm).num_ghosts
+
+        assert spmd(1, prog).values == [0]
+
+
+class TestGhostExchange:
+    @pytest.mark.parametrize("use_neighbor", [False, True])
+    def test_values_match_owners(self, use_neighbor):
+        g = planted_blocks_graph(blocks=4, per_block=10, seed=3)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            plan = dg.build_ghost_plan(comm)
+            # Send a recognisable function of the global vertex id.
+            local = (np.arange(dg.vbegin, dg.vend) * 7 + 1).astype(np.int64)
+            ghosts = dg.exchange_ghost_values(
+                comm, plan, local, use_neighbor_collectives=use_neighbor
+            )
+            return bool(np.all(ghosts == plan.ghost_ids * 7 + 1))
+
+        assert all(spmd(4, prog).values)
+
+    def test_wrong_length_rejected(self):
+        g = ring_graph(8)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            plan = dg.build_ghost_plan(comm)
+            dg.exchange_ghost_values(comm, plan, np.zeros(1, dtype=np.int64))
+
+        from repro.runtime import RankFailedError
+
+        with pytest.raises(RankFailedError):
+            spmd(4, prog)
+
+    def test_compressed_targets_resolve_communities(self):
+        g = planted_blocks_graph(blocks=3, per_block=8, seed=5)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            plan = dg.build_ghost_plan(comm)
+            ct = dg.compressed_targets(plan)
+            local = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+            ghosts = dg.exchange_ghost_values(comm, plan, local)
+            resolved = np.concatenate([local, ghosts])[ct]
+            return bool(np.all(resolved == dg.edges))
+
+        assert all(spmd(3, prog).values)
+
+
+class TestLoadBinary:
+    @pytest.mark.parametrize("partition", ["even_vertex", "even_edge"])
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 5])
+    def test_matches_direct_distribution(self, tmp_path, partition, nranks):
+        g = planted_blocks_graph(blocks=4, per_block=10, seed=7)
+        el = EdgeList.from_csr(g)
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, el)
+
+        def prog(comm):
+            dg = DistGraph.load_binary(comm, path, partition=partition)
+            return (
+                float(dg.local_degrees().sum()),
+                dg.total_weight,
+                dg.num_local_entries,
+            )
+
+        r = spmd(nranks, prog)
+        deg_total = sum(v[0] for v in r.values)
+        assert deg_total == pytest.approx(g.total_weight)
+        assert all(v[1] == pytest.approx(g.total_weight) for v in r.values)
+        assert sum(v[2] for v in r.values) == g.nnz
+
+    def test_shuffled_file_same_graph(self, tmp_path):
+        g = planted_blocks_graph(blocks=3, per_block=8, seed=9)
+        rng = np.random.default_rng(4)
+        el = EdgeList.from_csr(g).permuted(rng)
+        path = str(tmp_path / "shuf.bin")
+        write_edgelist(path, el)
+
+        def prog(comm):
+            dg = DistGraph.load_binary(comm, path)
+            return float(dg.weights.sum())
+
+        r = spmd(4, prog)
+        assert sum(r.values) == pytest.approx(g.total_weight)
+
+    def test_io_charged(self, tmp_path):
+        g = ring_graph(12)
+        path = str(tmp_path / "r.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+
+        def prog(comm):
+            DistGraph.load_binary(comm, path)
+            return None
+
+        from repro.runtime import CORI_HASWELL
+
+        r = run_spmd(3, prog, machine=CORI_HASWELL, timeout=15.0)
+        assert r.trace.seconds_by_category().get("io", 0) > 0

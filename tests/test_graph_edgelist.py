@@ -1,0 +1,66 @@
+"""Unit tests for EdgeList canonicalisation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, EdgeList
+
+
+class TestFromArrays:
+    def test_canonical_orientation(self):
+        el = EdgeList.from_arrays(4, [3, 1], [0, 2])
+        assert list(el.u) == [0, 1]
+        assert list(el.v) == [3, 2]
+
+    def test_dedup_sums_weights(self):
+        el = EdgeList.from_arrays(3, [0, 1, 0], [1, 0, 1], [1.0, 2.0, 4.0])
+        assert el.num_edges == 1
+        assert el.w[0] == pytest.approx(7.0)
+
+    def test_dedup_disabled(self):
+        el = EdgeList.from_arrays(3, [0, 1], [1, 0], dedup=False)
+        assert el.num_edges == 2
+
+    def test_default_unit_weights(self):
+        el = EdgeList.from_arrays(3, [0], [1])
+        assert el.w[0] == 1.0
+
+    def test_total_weight_counts_loops_once(self):
+        el = EdgeList.from_arrays(2, [0, 1], [0, 0], [3.0, 2.0])
+        # loop (0,0,3) once + edge (0,1,2) twice
+        assert el.total_weight == pytest.approx(3.0 + 4.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EdgeList.from_arrays(2, [0], [2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EdgeList.from_arrays(2, [0], [-1])
+
+    def test_empty(self):
+        el = EdgeList.from_arrays(3, [], [])
+        assert el.num_edges == 0
+        assert el.total_weight == 0.0
+
+
+class TestConversions:
+    def test_roundtrip_csr(self):
+        el = EdgeList.from_arrays(
+            5, [0, 1, 2, 0], [1, 2, 3, 0], [1.0, 2.0, 3.0, 0.5]
+        )
+        g = el.to_csr()
+        el2 = EdgeList.from_csr(g)
+        assert sorted(zip(el.u, el.v, el.w)) == sorted(
+            zip(el2.u, el2.v, el2.w)
+        )
+
+    def test_to_csr_total_weight_matches(self):
+        el = EdgeList.from_arrays(6, [0, 1, 2, 3], [1, 2, 3, 4])
+        assert el.to_csr().total_weight == pytest.approx(el.total_weight)
+
+    def test_permuted_preserves_multiset(self):
+        el = EdgeList.from_arrays(5, [0, 1, 2], [1, 2, 3])
+        rng = np.random.default_rng(0)
+        shuffled = el.permuted(rng)
+        assert sorted(zip(shuffled.u, shuffled.v)) == sorted(zip(el.u, el.v))

@@ -1,0 +1,62 @@
+"""Unit tests for graph statistics helpers."""
+
+import numpy as np
+
+from repro.graph import (
+    CSRGraph,
+    EdgeList,
+    connected_components,
+    graph_stats,
+    is_connected,
+)
+
+
+class TestGraphStats:
+    def test_basic_counts(self, two_cliques):
+        s = graph_stats(two_cliques)
+        assert s.num_vertices == 10
+        assert s.num_edges == 21
+        assert s.num_isolated == 0
+        assert s.num_self_loops == 0
+
+    def test_star_degrees(self, star_graph):
+        s = graph_stats(star_graph)
+        assert s.max_degree == 8
+        assert s.min_degree == 1
+        assert s.degree_cv > 0
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(5, [0], [1])
+        assert graph_stats(g).num_isolated == 3
+
+    def test_self_loop_count(self):
+        g = CSRGraph.from_edges(3, [0, 1], [0, 2])
+        assert graph_stats(g).num_self_loops == 1
+
+    def test_empty_graph(self):
+        s = graph_stats(CSRGraph.empty(0))
+        assert s.num_vertices == 0
+        assert s.mean_degree == 0.0
+
+    def test_format_readable(self, two_cliques):
+        text = graph_stats(two_cliques).format()
+        assert "n=10" in text
+
+
+class TestComponents:
+    def test_connected_graph(self, two_cliques):
+        assert is_connected(two_cliques)
+        assert np.all(connected_components(two_cliques) == 0)
+
+    def test_disconnected(self):
+        g = EdgeList.from_arrays(6, [0, 1, 3, 4], [1, 2, 4, 5]).to_csr()
+        labels = connected_components(g)
+        assert len(np.unique(labels)) == 2
+        assert not is_connected(g)
+
+    def test_isolated_are_own_components(self):
+        g = CSRGraph.empty(4)
+        assert len(np.unique(connected_components(g))) == 4
+
+    def test_empty(self):
+        assert is_connected(CSRGraph.empty(0))

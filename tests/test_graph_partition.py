@@ -1,0 +1,87 @@
+"""Unit tests for 1-D partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph import even_edge, even_vertex, local_counts, owner_of
+
+
+class TestEvenVertex:
+    def test_exact_division(self):
+        off = even_vertex(12, 4)
+        np.testing.assert_array_equal(off, [0, 3, 6, 9, 12])
+
+    def test_remainder_spread_to_front(self):
+        off = even_vertex(10, 4)
+        np.testing.assert_array_equal(local_counts(off), [3, 3, 2, 2])
+
+    def test_more_ranks_than_vertices(self):
+        off = even_vertex(2, 5)
+        counts = local_counts(off)
+        assert counts.sum() == 2
+        assert counts.max() == 1
+
+    def test_single_rank(self):
+        np.testing.assert_array_equal(even_vertex(7, 1), [0, 7])
+
+    def test_empty_graph(self):
+        off = even_vertex(0, 3)
+        np.testing.assert_array_equal(off, [0, 0, 0, 0])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_vertex(5, 0)
+        with pytest.raises(ValueError):
+            even_vertex(-1, 2)
+
+
+class TestEvenEdge:
+    def test_balances_edge_counts(self):
+        # One heavy vertex at the front.
+        rows = np.array([100, 1, 1, 1, 1, 1, 1, 1])
+        off = even_edge(rows, 2)
+        # Rank 0 should get just the heavy vertex (or close to it).
+        counts = [rows[off[i]:off[i + 1]].sum() for i in range(2)]
+        assert abs(counts[0] - counts[1]) <= 100  # better than naive split
+        assert off[1] <= 2
+
+    def test_uniform_rows_matches_even_vertex(self):
+        rows = np.full(12, 3)
+        off = even_edge(rows, 4)
+        np.testing.assert_array_equal(off, even_vertex(12, 4))
+
+    def test_monotone_and_covering(self):
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 50, 100)
+        for p in (1, 2, 3, 7, 16):
+            off = even_edge(rows, p)
+            assert off[0] == 0 and off[-1] == 100
+            assert np.all(np.diff(off) >= 0)
+
+    def test_many_empty_rows(self):
+        rows = np.zeros(10, dtype=np.int64)
+        off = even_edge(rows, 4)
+        assert off[0] == 0 and off[-1] == 10
+        assert np.all(np.diff(off) >= 0)
+
+
+class TestOwnerOf:
+    def test_owner_lookup(self):
+        off = np.array([0, 3, 6, 9])
+        np.testing.assert_array_equal(
+            owner_of(off, np.array([0, 2, 3, 5, 8])), [0, 0, 1, 1, 2]
+        )
+
+    def test_scalar(self):
+        off = np.array([0, 3, 6])
+        assert owner_of(off, 4) == 1
+
+    def test_out_of_range(self):
+        off = np.array([0, 3, 6])
+        with pytest.raises(ValueError):
+            owner_of(off, 6)
+
+    def test_boundaries_are_owned_by_upper_rank(self):
+        off = np.array([0, 3, 6])
+        assert owner_of(off, 3) == 1
+        assert owner_of(off, 0) == 0

@@ -1,0 +1,94 @@
+"""Property-based tests on the graph substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, DistGraph, EdgeList, even_edge, even_vertex
+from repro.runtime import FREE, run_spmd
+
+from .conftest import random_graph
+
+COMMON = dict(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+graph_params = st.tuples(
+    st.integers(2, 40),        # n
+    st.integers(0, 120),       # m raw records
+    st.integers(0, 2**16),     # seed
+)
+
+
+@given(params=graph_params, weighted=st.booleans())
+@settings(**COMMON)
+def test_csr_symmetry_and_weight_invariants(params, weighted):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m, weighted)
+    g.validate()
+    # total weight = sum of degrees, always.
+    assert g.total_weight == pytest.approx(g.degrees().sum())
+    # nnz = 2 * (non-loop edges) + loops.
+    loops = int(np.count_nonzero(g.self_loop_weights() > 0))
+    assert g.nnz >= loops
+    assert (g.nnz - loops) % 2 == 0
+
+
+@given(params=graph_params)
+@settings(**COMMON)
+def test_edgelist_csr_roundtrip(params):
+    n, m, seed = params
+    rng = np.random.default_rng(seed)
+    el = EdgeList.from_arrays(
+        n, rng.integers(0, n, m), rng.integers(0, n, m)
+    )
+    g = el.to_csr()
+    el2 = EdgeList.from_csr(g)
+    assert el2.num_edges == el.num_edges
+    assert el2.total_weight == pytest.approx(el.total_weight)
+    assert g.total_weight == pytest.approx(el.total_weight)
+
+
+@given(n=st.integers(0, 200), p=st.integers(1, 17))
+@settings(**COMMON)
+def test_even_vertex_partition_properties(n, p):
+    off = even_vertex(n, p)
+    counts = np.diff(off)
+    assert counts.sum() == n
+    assert counts.max() - counts.min() <= 1 if n else True
+    assert np.all(counts >= 0)
+
+
+@given(params=graph_params, p=st.integers(1, 8))
+@settings(**COMMON)
+def test_even_edge_partition_covers(params, p):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m)
+    off = even_edge(np.diff(g.index), p)
+    assert off[0] == 0 and off[-1] == n
+    assert np.all(np.diff(off) >= 0)
+
+
+@given(params=graph_params, p=st.integers(1, 5))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_distribution_preserves_graph(params, p):
+    n, m, seed = params
+    g = random_graph(np.random.default_rng(seed), n, m)
+
+    def prog(comm):
+        dg = DistGraph.distribute(comm, g)
+        plan = dg.build_ghost_plan(comm)
+        # Ghosts are exactly the referenced non-owned vertices.
+        mine = (dg.edges >= dg.vbegin) & (dg.edges < dg.vend)
+        refs = np.unique(dg.edges[~mine])
+        ok = np.array_equal(refs, plan.ghost_ids)
+        return ok, float(dg.weights.sum()), dg.num_local
+
+    r = run_spmd(p, prog, machine=FREE, timeout=15.0)
+    assert all(v[0] for v in r.values)
+    assert sum(v[1] for v in r.values) == pytest.approx(g.total_weight)
+    assert sum(v[2] for v in r.values) == n

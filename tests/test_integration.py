@@ -1,0 +1,177 @@
+"""Integration tests: full pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LouvainConfig,
+    Variant,
+    distributed_louvain,
+    grappolo_louvain,
+    louvain,
+    modularity,
+    run_louvain,
+)
+from repro.generators import generate_lfr, generate_ssca2, make_graph
+from repro.graph import DistGraph, EdgeList, write_edgelist
+from repro.quality import best_match_scores, normalized_mutual_information
+from repro.runtime import CORI_HASWELL, FREE, run_spmd
+
+from .conftest import assert_valid_partition
+
+
+class TestFileToCommunitiesPipeline:
+    """Binary file -> distributed ingest -> Louvain -> quality check."""
+
+    @pytest.mark.parametrize("nranks", [1, 3, 4])
+    def test_full_pipeline(self, tmp_path, nranks):
+        lfr = generate_lfr(400, mu=0.1, min_community=20,
+                           max_community=50, seed=1)
+        path = str(tmp_path / "lfr.bin")
+        write_edgelist(path, lfr.edges)
+
+        def main(comm):
+            dg = DistGraph.load_binary(comm, path, partition="even_edge")
+            return distributed_louvain(comm, dg, LouvainConfig())
+
+        spmd = run_spmd(nranks, main, machine=CORI_HASWELL, timeout=60.0)
+        result = spmd.value
+        assert_valid_partition(result.assignment, 400)
+        scores = best_match_scores(lfr.community_of, result.assignment)
+        assert scores.recall == 1.0
+        assert scores.fscore > 0.8
+        # I/O must be a small share of the modelled time (paper: 1-2%).
+        fracs = spmd.trace.fraction_by_category()
+        assert fracs.get("io", 0.0) < 0.25
+
+    def test_shuffled_input_same_quality(self, tmp_path):
+        g = generate_ssca2(300, 15, inter_clique_fraction=0.005, seed=2)
+        rng = np.random.default_rng(0)
+        path = str(tmp_path / "s.bin")
+        write_edgelist(path, g.edges.permuted(rng))
+
+        def main(comm):
+            dg = DistGraph.load_binary(comm, path)
+            return distributed_louvain(comm, dg)
+
+        result = run_spmd(4, main, machine=FREE, timeout=60.0).value
+        assert result.modularity > 0.9
+
+
+class TestImplementationAgreement:
+    """Serial, shared-memory and distributed must agree on quality."""
+
+    @pytest.mark.parametrize(
+        "name", ["channel", "com-orkut", "arabic-2005", "cnr"]
+    )
+    def test_three_implementations_agree(self, name):
+        g = make_graph(name, scale="tiny")
+        q_serial = louvain(g).modularity
+        q_shared = grappolo_louvain(g).modularity
+        q_dist = run_louvain(g, 4, machine=FREE).modularity
+        # Paper: "the modularity difference was found to be under 1%"
+        # between distributed and shared memory.  The serial sequential
+        # sweep can land in a *worse* local optimum on banded/ring
+        # structures, so it only provides a lower bound here.
+        assert q_dist == pytest.approx(q_shared, abs=0.02)
+        assert q_shared >= q_serial - 0.02
+        assert q_dist >= q_serial - 0.02
+
+    def test_partitions_structurally_similar(self, planted_blocks):
+        serial = louvain(planted_blocks)
+        dist = run_louvain(planted_blocks, 4, machine=FREE)
+        nmi = normalized_mutual_information(
+            serial.assignment, dist.assignment
+        )
+        assert nmi > 0.95
+
+    def test_distributed_p1_matches_grappolo_plain(self, planted_blocks):
+        # With one rank, the distributed algorithm degenerates to the
+        # snapshot sweep — same trajectory as Grappolo without its
+        # coloring/vertex-following heuristics.
+        dist = run_louvain(planted_blocks, 1, machine=FREE)
+        shared = grappolo_louvain(
+            planted_blocks, coloring=False, vertex_following=False
+        )
+        assert dist.modularity == pytest.approx(shared.modularity, abs=1e-6)
+
+
+class TestVariantBehaviourShapes:
+    """Qualitative claims from the paper's evaluation."""
+
+    def test_et_reduces_work_on_banded_graph(self):
+        # §IV-B(b): ET savings are large on Channel-like (banded) inputs.
+        g = make_graph("channel", scale="tiny")
+        base = run_louvain(g, 4, machine=CORI_HASWELL)
+        et = run_louvain(
+            g, 4, LouvainConfig(variant=Variant.ET, alpha=0.75),
+            machine=CORI_HASWELL,
+        )
+        base_work = base.trace.seconds_by_category()["compute"]
+        et_work = et.trace.seconds_by_category()["compute"]
+        assert et_work < base_work
+        assert et.modularity > base.modularity - 0.05
+
+    def test_etc_caps_iterations(self):
+        g = make_graph("channel", scale="tiny")
+        et = run_louvain(
+            g, 4, LouvainConfig(variant=Variant.ET, alpha=0.75),
+            machine=FREE,
+        )
+        etc = run_louvain(
+            g, 4, LouvainConfig(variant=Variant.ETC, alpha=0.75),
+            machine=FREE,
+        )
+        assert etc.modularity > 0.7 and et.modularity > 0.7
+
+    def test_threshold_cycling_cuts_iterations_keeps_quality(self):
+        g = make_graph("nlpkkt240", scale="tiny")
+        base = run_louvain(g, 4, machine=FREE)
+        tc = run_louvain(
+            g, 4, LouvainConfig(variant=Variant.THRESHOLD_CYCLING),
+            machine=FREE,
+        )
+        # <3% modularity loss (paper §V-C(a)).
+        assert tc.modularity > base.modularity * 0.97
+
+    def test_strong_scaling_time_decreases_then_flattens(self):
+        g = make_graph("soc-friendster", scale="tiny")
+        times = [
+            run_louvain(g, p, machine=CORI_HASWELL).elapsed
+            for p in (1, 2, 4, 8)
+        ]
+        # Speedup from 1 -> 4 ranks must be real.
+        assert times[2] < times[0]
+
+    def test_weak_scaling_flat_shape(self):
+        # Fig. 4: near-constant time with work/process fixed.
+        from repro.generators import weak_scaling_series
+
+        series = weak_scaling_series(2500, [1, 2, 4], max_clique_size=20,
+                                     inter_clique_fraction=0.003)
+        times = []
+        for p, g in series:
+            csr = g.edges.to_csr()
+            times.append(run_louvain(csr, p, machine=CORI_HASWELL).elapsed)
+        # Within 4x across the series (constant in the paper's scale; at
+        # this size the p=1 point has no communication at all, so some
+        # growth from 1 -> 2 ranks is inherent to the model).
+        assert max(times) / min(times) < 4.0
+
+
+class TestQualityAssessmentFeature:
+    def test_lfr_ground_truth_comparison_distributed(self):
+        # The §V-D pipeline: distributed Louvain + F-score vs LFR truth.
+        lfr = generate_lfr(400, mu=0.1, min_community=20,
+                           max_community=50, seed=7)
+        g = lfr.edges.to_csr()
+        r = run_louvain(
+            g, 4, LouvainConfig(track_assignments=True), machine=FREE
+        )
+        scores = best_match_scores(lfr.community_of, r.assignment)
+        assert scores.recall == 1.0
+        assert scores.fscore > 0.8
+        assert r.phase_assignments is not None
+        # Every phase's gathered assignment covers the original graph.
+        for pa in r.phase_assignments:
+            assert len(pa) == 400

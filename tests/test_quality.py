@@ -1,0 +1,104 @@
+"""Unit tests for quality metrics: F-score (paper §V-D) and NMI."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    best_match_scores,
+    normalized_mutual_information,
+)
+
+
+class TestBestMatchScores:
+    def test_perfect_match(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        s = best_match_scores(truth, truth)
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+        assert s.fscore == 1.0
+
+    def test_relabeled_perfect_match(self):
+        truth = np.array([0, 0, 1, 1])
+        detected = np.array([7, 7, 3, 3])
+        assert best_match_scores(truth, detected).fscore == 1.0
+
+    def test_merged_communities_keep_recall_one(self):
+        # Louvain merging two truth communities into one: recall stays
+        # 1.0 and precision drops — the Table VII pattern.
+        truth = np.array([0, 0, 1, 1])
+        detected = np.array([0, 0, 0, 0])
+        s = best_match_scores(truth, detected)
+        assert s.recall == 1.0
+        assert s.precision == pytest.approx(0.5)
+        assert s.fscore == pytest.approx(2 * 0.5 / 1.5)
+
+    def test_split_communities_drop_recall(self):
+        truth = np.array([0, 0, 0, 0])
+        detected = np.array([0, 0, 1, 1])
+        s = best_match_scores(truth, detected)
+        assert s.recall == pytest.approx(0.5)
+        assert s.precision == 1.0
+
+    def test_partial_overlap(self):
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        detected = np.array([0, 0, 1, 1, 1, 1])
+        s = best_match_scores(truth, detected)
+        assert 0 < s.precision <= 1
+        assert 0 < s.recall <= 1
+        assert s.fscore == pytest.approx(
+            2 * s.precision * s.recall / (s.precision + s.recall)
+        )
+
+    def test_empty(self):
+        s = best_match_scores(np.empty(0), np.empty(0))
+        assert s.fscore == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            best_match_scores(np.zeros(3), np.zeros(4))
+
+    def test_format(self):
+        s = best_match_scores(np.array([0, 1]), np.array([0, 1]))
+        assert "F-score=1" in s.format()
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 2, 2])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 3000)
+        b = rng.integers(0, 5, 3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_refinement_between_zero_and_one(self):
+        a = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2, 3, 3])  # refinement of a
+        nmi = normalized_mutual_information(a, b)
+        assert 0.3 < nmi < 1.0
+
+    def test_single_cluster_degenerate(self):
+        a = np.zeros(10)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 200)
+        b = rng.integers(0, 3, 200)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        assert normalized_mutual_information(np.empty(0), np.empty(0)) == 1.0

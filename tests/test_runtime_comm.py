@@ -1,0 +1,302 @@
+"""Unit tests for point-to-point messaging and collective semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    FREE,
+    InvalidRankError,
+    RankFailedError,
+    run_spmd,
+)
+
+
+def spmd(size, fn, **kw):
+    kw.setdefault("machine", FREE)
+    kw.setdefault("timeout", 10.0)
+    return run_spmd(size, fn, **kw)
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def prog(comm):
+            comm.send(comm.rank * 10, (comm.rank + 1) % comm.size)
+            return comm.recv((comm.rank - 1) % comm.size)
+
+        r = spmd(4, prog)
+        assert r.values == [30, 0, 10, 20]
+
+    def test_fifo_ordering_per_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, 1)
+                return None
+            return [comm.recv(0) for _ in range(5)]
+
+        r = spmd(2, prog)
+        assert r.values[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_demultiplex(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            # Receive in the opposite order of sending.
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        r = spmd(2, prog)
+        assert r.values[1] == ("a", "b")
+
+    def test_sendrecv(self):
+        def prog(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank, other, other)
+
+        r = spmd(2, prog)
+        assert r.values == [1, 0]
+
+    def test_numpy_payload_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10), 1)
+                return None
+            return comm.recv(0)
+
+        r = spmd(2, prog)
+        np.testing.assert_array_equal(r.values[1], np.arange(10))
+
+    def test_invalid_destination(self):
+        def prog(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(RankFailedError) as ei:
+            spmd(2, prog)
+        assert isinstance(ei.value.causes[ei.value.rank], InvalidRankError)
+
+    def test_recv_without_send_times_out(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(0)
+
+        with pytest.raises(RankFailedError) as ei:
+            spmd(2, prog, timeout=0.3)
+        assert isinstance(ei.value.causes[1], CommTimeoutError)
+
+    def test_self_send_recv(self):
+        def prog(comm):
+            comm.send("loop", comm.rank)
+            return comm.recv(comm.rank)
+
+        assert spmd(3, prog).values == ["loop"] * 3
+
+
+class TestCollectives:
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(spmd(5, prog).values)
+
+    def test_bcast_from_each_root(self):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                value = f"from-{comm.rank}" if comm.rank == root else None
+                out.append(comm.bcast(value, root=root))
+            return out
+
+        r = spmd(3, prog)
+        for v in r.values:
+            assert v == ["from-0", "from-1", "from-2"]
+
+    def test_allreduce_sum_and_ops(self):
+        def prog(comm):
+            return (
+                comm.allreduce(comm.rank + 1),
+                comm.allreduce(comm.rank, op="max"),
+                comm.allreduce(comm.rank, op="min"),
+                comm.allreduce(comm.rank + 1, op="prod"),
+            )
+
+        r = spmd(4, prog)
+        assert r.values == [(10, 3, 0, 24)] * 4
+
+    def test_allreduce_numpy_elementwise(self):
+        def prog(comm):
+            return comm.allreduce(np.array([comm.rank, 1.0]))
+
+        r = spmd(3, prog)
+        for v in r.values:
+            np.testing.assert_allclose(v, [3.0, 3.0])
+
+    def test_allreduce_logical_ops(self):
+        def prog(comm):
+            return (
+                comm.allreduce(comm.rank < 2, op="land"),
+                comm.allreduce(comm.rank == 1, op="lor"),
+            )
+
+        assert spmd(3, prog).values == [(False, True)] * 3
+
+    def test_allreduce_custom_callable(self):
+        def prog(comm):
+            return comm.allreduce((comm.rank,), op=lambda a, b: a + b)
+
+        assert spmd(3, prog).values == [(0, 1, 2)] * 3
+
+    def test_allreduce_unknown_op(self):
+        def prog(comm):
+            comm.allreduce(1, op="median")
+
+        with pytest.raises(RankFailedError):
+            spmd(2, prog)
+
+    def test_reduce_only_root_gets_value(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, root=1)
+
+        r = spmd(3, prog)
+        assert r.values == [None, 6, None]
+
+    def test_gather_scatter_roundtrip(self):
+        def prog(comm):
+            gathered = comm.gather(comm.rank ** 2, root=0)
+            return comm.scatter(gathered, root=0)
+
+        r = spmd(4, prog)
+        assert r.values == [0, 1, 4, 9]
+
+    def test_scatter_wrong_length_fails(self):
+        def prog(comm):
+            comm.scatter([1, 2, 3] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(RankFailedError):
+            spmd(2, prog)
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        r = spmd(3, prog)
+        assert r.values == [["a", "b", "c"]] * 3
+
+    def test_alltoall_transpose(self):
+        def prog(comm):
+            return comm.alltoall(
+                [comm.rank * 10 + d for d in range(comm.size)]
+            )
+
+        r = spmd(3, prog)
+        assert r.values[0] == [0, 10, 20]
+        assert r.values[2] == [2, 12, 22]
+
+    def test_alltoall_wrong_length(self):
+        def prog(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(RankFailedError):
+            spmd(3, prog)
+
+    def test_neighbor_alltoall_sparse(self):
+        def prog(comm):
+            payload = {(comm.rank + 1) % comm.size: f"r{comm.rank}"}
+            return comm.neighbor_alltoall(payload)
+
+        r = spmd(4, prog)
+        assert r.values[1] == {0: "r0"}
+        assert r.values[0] == {3: "r3"}
+
+    def test_neighbor_alltoall_empty(self):
+        def prog(comm):
+            return comm.neighbor_alltoall({})
+
+        assert spmd(3, prog).values == [{}] * 3
+
+    def test_scan_inclusive(self):
+        def prog(comm):
+            return comm.scan(comm.rank + 1)
+
+        assert spmd(4, prog).values == [1, 3, 6, 10]
+
+    def test_exscan_exclusive_with_identity(self):
+        def prog(comm):
+            return comm.exscan(comm.rank + 1)
+
+        assert spmd(4, prog).values == [0, 1, 3, 6]
+
+    def test_exscan_is_prefix_of_scan(self):
+        def prog(comm):
+            return comm.scan(2 * comm.rank), comm.exscan(2 * comm.rank)
+
+        r = spmd(5, prog)
+        for rank in range(1, 5):
+            assert r.values[rank][1] == r.values[rank - 1][0]
+
+    def test_collective_mismatch_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.allreduce(1)
+
+        with pytest.raises(RankFailedError) as ei:
+            spmd(2, prog)
+        assert any(
+            isinstance(e, CollectiveMismatchError)
+            for e in ei.value.causes.values()
+        )
+
+    def test_many_sequential_collectives(self):
+        def prog(comm):
+            total = 0
+            for i in range(50):
+                total += comm.allreduce(i)
+            return total
+
+        r = spmd(4, prog)
+        assert r.values == [sum(4 * i for i in range(50))] * 4
+
+
+class TestClockModel:
+    def test_clocks_advance_with_traffic(self):
+        def prog(comm):
+            comm.allreduce(np.zeros(1000))
+            return None
+
+        from repro.runtime import CORI_HASWELL
+
+        r = run_spmd(4, prog, machine=CORI_HASWELL, timeout=10.0)
+        assert r.elapsed > 0.0
+
+    def test_collective_synchronizes_clocks(self):
+        from repro.runtime import CORI_HASWELL
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge_compute(1e7)  # rank 0 is the straggler
+            comm.barrier()
+            return comm.clock
+
+        r = run_spmd(3, prog, machine=CORI_HASWELL, timeout=10.0)
+        assert max(r.values) - min(r.values) < 1e-12
+
+    def test_compute_charge_categories(self):
+        from repro.runtime import CORI_HASWELL
+
+        def prog(comm):
+            comm.charge_compute(1e6)
+            comm.charge_io(1e6)
+            return None
+
+        r = run_spmd(1, prog, machine=CORI_HASWELL)
+        cats = r.trace.seconds_by_category()
+        assert cats["compute"] > 0
+        assert cats["io"] > 0

@@ -1,0 +1,99 @@
+"""Unit tests for timeline event recording and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.runtime import CORI_HASWELL, run_spmd
+from repro.runtime.tracing import RankTrace, TraceEvent, TraceReport
+
+
+def traced_run(size=3):
+    def prog(comm):
+        comm.charge_compute(1e6)
+        comm.allreduce(comm.rank)
+        comm.send(list(range(100)), (comm.rank + 1) % comm.size)
+        comm.recv((comm.rank - 1) % comm.size)
+        return None
+
+    return run_spmd(
+        size, prog, machine=CORI_HASWELL, timeout=10.0, trace_events=True
+    )
+
+
+class TestEventRecording:
+    def test_disabled_by_default(self):
+        r = run_spmd(
+            2, lambda comm: comm.allreduce(1), machine=CORI_HASWELL,
+            timeout=10.0,
+        )
+        assert all(t.events is None for t in r.trace.ranks)
+        with pytest.raises(ValueError, match="trace_events"):
+            r.trace.to_chrome_trace()
+
+    def test_events_recorded_per_rank(self):
+        r = traced_run()
+        for t in r.trace.ranks:
+            assert t.events, f"rank {t.rank} recorded no events"
+            cats = {e.category for e in t.events}
+            assert "compute" in cats
+            assert "allreduce" in cats
+
+    def test_events_are_ordered_and_disjoint(self):
+        r = traced_run()
+        for t in r.trace.ranks:
+            prev_end = 0.0
+            for ev in t.events:
+                assert ev.start >= prev_end - 1e-15
+                assert ev.end >= ev.start
+                prev_end = ev.end
+
+    def test_event_durations_sum_to_category_totals(self):
+        r = traced_run()
+        for t in r.trace.ranks:
+            by_cat = {}
+            for ev in t.events:
+                by_cat[ev.category] = by_cat.get(ev.category, 0.0) + ev.duration
+            for cat, total in by_cat.items():
+                assert total == pytest.approx(t.seconds[cat], rel=1e-9)
+
+    def test_zero_duration_charges_skipped(self):
+        t = RankTrace(rank=0)
+        t.enable_events()
+        t.charge("compute", 0.0, at=1.0)
+        assert t.events == []
+
+
+class TestChromeExport:
+    def test_export_structure(self):
+        r = traced_run()
+        doc = r.trace.to_chrome_trace()
+        assert "traceEvents" in doc
+        assert len(doc["traceEvents"]) > 0
+        tids = {e["tid"] for e in doc["traceEvents"]}
+        assert tids == {0, 1, 2}
+        for e in doc["traceEvents"]:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+            assert e["ts"] >= 0
+
+    def test_export_is_json_serializable(self):
+        r = traced_run()
+        text = json.dumps(r.trace.to_chrome_trace())
+        parsed = json.loads(text)
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_time_scale(self):
+        report = TraceReport.merge([
+            _trace_with_event(0, "compute", 0.0, 0.5),
+        ])
+        doc = report.to_chrome_trace(time_scale=1000.0)
+        assert doc["traceEvents"][0]["dur"] == pytest.approx(500.0)
+
+
+def _trace_with_event(rank, cat, start, end):
+    t = RankTrace(rank=rank)
+    t.enable_events()
+    t.events.append(TraceEvent(category=cat, start=start, end=end))
+    t.seconds[cat] += end - start
+    return t

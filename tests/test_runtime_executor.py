@@ -1,0 +1,132 @@
+"""Unit tests for the SPMD executor: results, failures, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FREE,
+    RankAborted,
+    RankFailedError,
+    run_spmd,
+)
+
+
+class TestRunSPMD:
+    def test_returns_per_rank_values(self):
+        r = run_spmd(4, lambda comm: comm.rank ** 2, machine=FREE)
+        assert r.values == [0, 1, 4, 9]
+        assert r.size == 4
+
+    def test_single_rank_fast_path(self):
+        r = run_spmd(1, lambda comm: "solo", machine=FREE)
+        assert r.value == "solo"
+        assert r.trace.size == 1
+
+    def test_single_rank_exception_propagates_natively(self):
+        with pytest.raises(ZeroDivisionError):
+            run_spmd(1, lambda comm: 1 // 0, machine=FREE)
+
+    def test_extra_args_passed_through(self):
+        def prog(comm, data, offset=0):
+            return data[comm.rank] + offset
+
+        r = run_spmd(3, prog, [10, 20, 30], machine=FREE, offset=5)
+        assert r.values == [15, 25, 35]
+
+    def test_invalid_world_size(self):
+        with pytest.raises(Exception):
+            run_spmd(0, lambda comm: None, machine=FREE)
+
+    def test_elapsed_is_max_clock(self):
+        from repro.runtime import CORI_HASWELL
+
+        def prog(comm):
+            comm.charge_compute(1e6 * (comm.rank + 1))
+            return comm.clock
+
+        r = run_spmd(3, prog, machine=CORI_HASWELL, timeout=10.0)
+        assert r.elapsed == pytest.approx(max(r.values))
+
+
+class TestFailurePropagation:
+    def test_single_failing_rank_reported(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(4, prog, machine=FREE, timeout=5.0)
+        err = ei.value
+        assert err.rank == 2
+        assert isinstance(err.causes[2], ValueError)
+
+    def test_victim_ranks_not_blamed(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("primary")
+            comm.recv(0)  # victims block here and get aborted
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, prog, machine=FREE, timeout=5.0)
+        # Only the primary failure is reported, not the RankAborted victims.
+        assert set(ei.value.causes) == {0}
+
+    def test_multiple_primary_failures_all_reported(self):
+        def prog(comm):
+            raise KeyError(f"rank-{comm.rank}")
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, prog, machine=FREE, timeout=5.0)
+        assert set(ei.value.causes) == {0, 1, 2}
+
+    def test_failure_inside_collective_unblocks_everyone(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("late")
+            for _ in range(3):
+                comm.allreduce(1)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog, machine=FREE, timeout=5.0)
+
+    def test_rank_aborted_is_catchable_in_program(self):
+        # A program can observe the abort but must not swallow it into a
+        # normal return (the executor still reports the primary cause).
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("primary")
+            try:
+                comm.barrier()
+            except RankAborted:
+                raise
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(2, prog, machine=FREE, timeout=5.0)
+        assert isinstance(ei.value.causes[0], ValueError)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            x = rng.random(10)
+            total = comm.allreduce(x)
+            return float(total.sum())
+
+        r1 = run_spmd(4, prog, machine=FREE)
+        r2 = run_spmd(4, prog, machine=FREE)
+        assert r1.values == r2.values
+
+    def test_model_time_deterministic(self):
+        from repro.runtime import CORI_HASWELL
+
+        def prog(comm):
+            comm.send(np.arange(100), (comm.rank + 1) % comm.size)
+            comm.recv((comm.rank - 1) % comm.size)
+            comm.allreduce(1.0)
+            return None
+
+        e1 = run_spmd(4, prog, machine=CORI_HASWELL, timeout=10.0).elapsed
+        e2 = run_spmd(4, prog, machine=CORI_HASWELL, timeout=10.0).elapsed
+        assert e1 == e2

@@ -1,0 +1,104 @@
+"""Unit tests for nonblocking p2p and the hierarchical latency model."""
+
+import pytest
+
+from repro.runtime import FREE, CORI_HASWELL, run_spmd, wait_all
+from repro.runtime.perfmodel import MachineModel
+
+
+def spmd(size, fn, **kw):
+    kw.setdefault("machine", FREE)
+    kw.setdefault("timeout", 10.0)
+    return run_spmd(size, fn, **kw)
+
+
+class TestNonblocking:
+    def test_isend_irecv_roundtrip(self):
+        def prog(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            req_s = comm.isend(comm.rank * 2, nxt)
+            req_r = comm.irecv(prv)
+            assert req_s.completed
+            return req_r.wait()
+
+        r = spmd(4, prog)
+        assert r.values == [6, 0, 2, 4]
+
+    def test_irecv_test_polls(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1)
+                done_before, _ = req.test()
+                # Wait for the message to actually arrive.
+                while True:
+                    done, value = req.test()
+                    if done:
+                        return done_before, value
+            comm.send("payload", 0)
+            return None
+
+        r = spmd(2, prog)
+        _, value = r.values[0]
+        assert value == "payload"
+
+    def test_wait_twice_returns_cached(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(42, 1)
+                return None
+            req = comm.irecv(0)
+            return req.wait(), req.wait()
+
+        assert spmd(2, prog).values[1] == (42, 42)
+
+    def test_wait_all_ordering(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(1, tag=t) for t in range(3)]
+                return wait_all(reqs)
+            for t in (2, 0, 1):  # send out of order; tags demultiplex
+                comm.send(f"tag{t}", 0, tag=t)
+            return None
+
+        r = spmd(2, prog)
+        assert r.values[0] == ["tag0", "tag1", "tag2"]
+
+    def test_test_on_send_request(self):
+        def prog(comm):
+            req = comm.isend(1, comm.rank)
+            comm.recv(comm.rank)
+            return req.test()
+
+        assert spmd(2, prog).values == [(True, None)] * 2
+
+
+class TestHierarchicalLatency:
+    def test_node_of(self):
+        m = MachineModel(ranks_per_node=4)
+        assert m.node_of(0) == 0
+        assert m.node_of(3) == 0
+        assert m.node_of(4) == 1
+
+    def test_intra_node_cheaper(self):
+        m = MachineModel(ranks_per_node=4, intra_node_alpha_fraction=0.25)
+        assert m.p2p_alpha(0, 1) == pytest.approx(m.alpha * 0.25)
+        assert m.p2p_alpha(0, 5) == pytest.approx(m.alpha)
+
+    def test_single_node_run_cheaper_than_spread(self):
+        # Same communication pattern; co-located ranks pay less latency.
+        def prog(comm):
+            for _ in range(20):
+                comm.send(1, (comm.rank + 1) % comm.size)
+                comm.recv((comm.rank - 1) % comm.size)
+            return None
+
+        packed = MachineModel(ranks_per_node=8)
+        spread = MachineModel(ranks_per_node=1)
+        t_packed = run_spmd(4, prog, machine=packed, timeout=10.0).elapsed
+        t_spread = run_spmd(4, prog, machine=spread, timeout=10.0).elapsed
+        assert t_packed < t_spread
+
+    def test_scaled_model_keeps_hierarchy(self):
+        m = CORI_HASWELL.scaled(100.0)
+        assert m.p2p_alpha(0, 1) < m.p2p_alpha(0, 100)

@@ -1,0 +1,60 @@
+"""Unit tests for message payload size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.payload import ENVELOPE_BYTES, SCALAR_BYTES, message_bytes, nbytes
+
+
+class TestNbytes:
+    def test_none_is_free(self):
+        assert nbytes(None) == 0
+
+    def test_scalars(self):
+        assert nbytes(5) == SCALAR_BYTES
+        assert nbytes(3.14) == SCALAR_BYTES
+        assert nbytes(True) == SCALAR_BYTES
+        assert nbytes(np.int64(7)) == SCALAR_BYTES
+        assert nbytes(np.float64(7.5)) == SCALAR_BYTES
+
+    def test_numpy_array_exact(self):
+        a = np.zeros(100, dtype=np.int64)
+        assert nbytes(a) == 800
+        assert nbytes(np.zeros((3, 4), dtype=np.float32)) == 48
+
+    def test_list_of_ints(self):
+        assert nbytes([1, 2, 3, 4]) == 4 * SCALAR_BYTES
+
+    def test_nested_structures(self):
+        payload = ([1, 2], (3.0,), {4: 5})
+        assert nbytes(payload) == 5 * SCALAR_BYTES
+
+    def test_dict_counts_keys_and_values(self):
+        assert nbytes({1: 2.0}) == 2 * SCALAR_BYTES
+
+    def test_bytes_and_str(self):
+        assert nbytes(b"abcd") == 4
+        assert nbytes("hëllo") == len("hëllo".encode())
+
+    def test_set(self):
+        assert nbytes({1, 2, 3}) == 3 * SCALAR_BYTES
+
+    def test_object_with_dict_falls_back_to_attributes(self):
+        class Msg:
+            def __init__(self):
+                self.a = np.zeros(10, dtype=np.float64)
+                self.b = 1
+
+        assert nbytes(Msg()) == 80 + SCALAR_BYTES
+
+    def test_unknown_object_is_charged_not_free(self):
+        assert nbytes(object()) > 0
+
+
+class TestMessageBytes:
+    def test_envelope_added(self):
+        assert message_bytes(None) == ENVELOPE_BYTES
+        assert message_bytes([1]) == ENVELOPE_BYTES + SCALAR_BYTES
+
+    def test_monotone_in_payload(self):
+        assert message_bytes(list(range(100))) > message_bytes(list(range(10)))

@@ -1,0 +1,130 @@
+"""Unit tests for the LogGP-style machine model."""
+
+import math
+
+import pytest
+
+from repro.runtime.perfmodel import (
+    CORI_HASWELL,
+    CORI_HASWELL_SHARED,
+    FREE,
+    PRESETS,
+    MachineModel,
+    OpenMPModel,
+    _log2_stages,
+)
+
+
+class TestOpenMPModel:
+    def test_one_thread_is_unity(self):
+        assert OpenMPModel().speedup(1) == pytest.approx(1.0, rel=0.01)
+
+    def test_speedup_monotone_in_physical_range(self):
+        m = OpenMPModel()
+        prev = 0.0
+        for t in (1, 2, 4, 8, 16, 32):
+            s = m.speedup(t)
+            assert s > prev
+            prev = s
+
+    def test_speedup_sublinear(self):
+        m = OpenMPModel()
+        assert m.speedup(32) < 32
+
+    def test_hyperthreads_help_less_than_cores(self):
+        m = OpenMPModel(physical_cores=32)
+        gain_ht = m.speedup(64) - m.speedup(32)
+        gain_cores = m.speedup(32) - m.speedup(16)
+        assert 0 < gain_ht < gain_cores
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            OpenMPModel().speedup(0)
+
+    def test_serial_fraction_caps_speedup(self):
+        m = OpenMPModel(serial_fraction=0.5, contention=0.0)
+        assert m.speedup(32) < 2.0
+
+
+class TestMachineModel:
+    def test_compute_cost_linear(self):
+        m = CORI_HASWELL
+        assert m.compute_cost(2e6) == pytest.approx(2 * m.compute_cost(1e6))
+
+    def test_compute_cost_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CORI_HASWELL.compute_cost(-1)
+
+    def test_free_machine_charges_nothing(self):
+        assert FREE.compute_cost(1e12) == 0.0
+        assert FREE.p2p_cost(10**9) == 0.0
+        assert FREE.allreduce_cost(10**6, 64) == 0.0
+
+    def test_p2p_alpha_beta(self):
+        m = MachineModel(alpha=1e-6, beta=1e-9)
+        assert m.p2p_cost(0) == pytest.approx(1e-6)
+        assert m.p2p_cost(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_collectives_grow_logarithmically(self):
+        m = CORI_HASWELL
+        c4 = m.allreduce_cost(64, 4)
+        c16 = m.allreduce_cost(64, 16)
+        c256 = m.allreduce_cost(64, 256)
+        assert c16 / c4 == pytest.approx(2.0)
+        assert c256 / c16 == pytest.approx(2.0)
+
+    def test_single_rank_collectives_free(self):
+        m = CORI_HASWELL
+        assert m.allreduce_cost(1000, 1) == 0.0
+        assert m.barrier_cost(1) == 0.0
+
+    def test_alltoallv_latency_scales_with_p(self):
+        m = CORI_HASWELL
+        assert m.alltoallv_cost(0, 0, 64) > m.alltoallv_cost(0, 0, 8)
+
+    def test_neighbor_collective_cheaper_for_sparse_neighborhoods(self):
+        m = CORI_HASWELL
+        dense = m.alltoallv_cost(1000, 1000, 1024)
+        sparse = m.neighbor_alltoallv_cost(1000, 1000, 6)
+        assert sparse < dense
+
+    def test_with_threads_changes_compute_rate(self):
+        m1 = CORI_HASWELL.with_threads(1)
+        m4 = CORI_HASWELL.with_threads(4)
+        assert m4.effective_compute_rate() > m1.effective_compute_rate()
+
+    def test_shared_preset_faster_per_op_but_scales_worse(self):
+        # Table III structure: shared memory wins at equal threads, the
+        # distributed code has the better thread-scaling curve.
+        dist4 = CORI_HASWELL.with_threads(4)
+        shared4 = CORI_HASWELL_SHARED.with_threads(4)
+        assert shared4.effective_compute_rate() > dist4.effective_compute_rate()
+        dist_scaling = (
+            CORI_HASWELL.with_threads(64).effective_compute_rate()
+            / dist4.effective_compute_rate()
+        )
+        shared_scaling = (
+            CORI_HASWELL_SHARED.with_threads(64).effective_compute_rate()
+            / shared4.effective_compute_rate()
+        )
+        assert dist_scaling > shared_scaling
+
+    def test_presets_registry(self):
+        assert "cori-haswell" in PRESETS
+        assert PRESETS["free"] is FREE
+
+
+class TestLog2Stages:
+    @pytest.mark.parametrize(
+        "p,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10)]
+    )
+    def test_values(self, p, expected):
+        assert _log2_stages(p) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _log2_stages(0)
+
+    def test_matches_ceil_log2(self):
+        for p in range(2, 200):
+            assert _log2_stages(p) == math.ceil(math.log2(p))

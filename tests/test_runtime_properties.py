@@ -1,0 +1,114 @@
+"""Property-based tests for communicator semantics (hypothesis)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import FREE, run_spmd
+
+SIZES = st.integers(min_value=1, max_value=5)
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(size=SIZES, values=st.lists(st.integers(-1000, 1000), min_size=5, max_size=5))
+@settings(**COMMON)
+def test_allreduce_equals_python_sum(size, values):
+    values = values[:size]
+
+    def prog(comm):
+        return comm.allreduce(values[comm.rank])
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    assert r.values == [sum(values[:size])] * size
+
+
+@given(size=st.integers(2, 5), seed=st.integers(0, 2**16))
+@settings(**COMMON)
+def test_alltoall_is_transpose(size, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 100, (size, size))
+
+    def prog(comm):
+        return comm.alltoall(list(matrix[comm.rank]))
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    received = np.array(r.values)
+    np.testing.assert_array_equal(received, matrix.T)
+
+
+@given(size=SIZES, values=st.lists(st.integers(0, 100), min_size=5, max_size=5))
+@settings(**COMMON)
+def test_scan_prefix_property(size, values):
+    values = values[:size]
+
+    def prog(comm):
+        return comm.scan(values[comm.rank]), comm.exscan(values[comm.rank])
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    for rank, (inc, exc) in enumerate(r.values):
+        assert inc == sum(values[: rank + 1])
+        assert exc == sum(values[:rank])
+        assert inc == exc + values[rank]
+
+
+@given(size=st.integers(2, 5), seed=st.integers(0, 2**16))
+@settings(**COMMON)
+def test_gather_scatter_inverse(size, seed):
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(0, 1000, size)]
+
+    def prog(comm):
+        g = comm.gather(data[comm.rank], root=0)
+        return comm.scatter(g, root=0)
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    assert r.values == data
+
+
+@given(size=st.integers(2, 5), nmsg=st.integers(1, 8))
+@settings(**COMMON)
+def test_p2p_preserves_order_and_content(size, nmsg):
+    def prog(comm):
+        nxt = (comm.rank + 1) % comm.size
+        prv = (comm.rank - 1) % comm.size
+        for i in range(nmsg):
+            comm.send((comm.rank, i), nxt)
+        got = [comm.recv(prv) for _ in range(nmsg)]
+        return got
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    for rank in range(size):
+        prv = (rank - 1) % size
+        assert r.values[rank] == [(prv, i) for i in range(nmsg)]
+
+
+@given(size=SIZES, payload_len=st.integers(0, 50))
+@settings(**COMMON)
+def test_bcast_replicates_exactly(size, payload_len):
+    payload = np.arange(payload_len)
+
+    def prog(comm):
+        got = comm.bcast(payload if comm.rank == 0 else None, root=0)
+        return int(got.sum())
+
+    r = run_spmd(size, prog, machine=FREE, timeout=10.0)
+    assert r.values == [int(payload.sum())] * size
+
+
+@given(size=st.integers(1, 5), ops=st.integers(0, 10**6))
+@settings(**COMMON)
+def test_clocks_nonnegative_and_monotone(size, ops):
+    from repro.runtime import CORI_HASWELL
+
+    def prog(comm):
+        t0 = comm.clock
+        comm.charge_compute(ops)
+        comm.allreduce(1)
+        return comm.clock >= t0 >= 0.0
+
+    r = run_spmd(size, prog, machine=CORI_HASWELL, timeout=10.0)
+    assert all(r.values)

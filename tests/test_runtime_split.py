@@ -1,0 +1,121 @@
+"""Unit tests for sub-communicators (MPI_Comm_split semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import FREE, run_spmd
+
+
+def spmd(size, fn, **kw):
+    kw.setdefault("machine", FREE)
+    kw.setdefault("timeout", 10.0)
+    return run_spmd(size, fn, **kw)
+
+
+class TestSplit:
+    def test_group_membership_and_ranks(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sub.size, sub.rank, sub.members
+
+        r = spmd(6, prog)
+        # Even ranks form group [0,2,4]; odd ranks [1,3,5].
+        assert r.values[0] == (3, 0, [0, 2, 4])
+        assert r.values[2] == (3, 1, [0, 2, 4])
+        assert r.values[5] == (3, 2, [1, 3, 5])
+
+    def test_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        r = spmd(4, prog)
+        assert r.values == [3, 2, 1, 0]
+
+    def test_subgroup_allreduce_independent(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sub.allreduce(comm.rank)
+
+        r = spmd(6, prog)
+        assert r.values[0] == r.values[2] == r.values[4] == 0 + 2 + 4
+        assert r.values[1] == r.values[3] == r.values[5] == 1 + 3 + 5
+
+    def test_subgroup_p2p(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2)  # pairs
+            other = 1 - sub.rank
+            sub.send(f"from-{comm.rank}", other)
+            return sub.recv(other)
+
+        r = spmd(4, prog)
+        assert r.values == ["from-1", "from-0", "from-3", "from-2"]
+
+    def test_subgroup_p2p_isolated_from_world(self):
+        # Same (source, tag) on world and subcomm must not collide.
+        def prog(comm):
+            sub = comm.split(color=0)
+            if comm.rank == 0:
+                comm.send("world", 1, tag=5)
+                sub.send("sub", 1, tag=5)
+                return None
+            if comm.rank == 1:
+                got_sub = sub.recv(0, tag=5)
+                got_world = comm.recv(0, tag=5)
+                return got_sub, got_world
+            return None
+
+        r = spmd(3, prog)
+        assert r.values[1] == ("sub", "world")
+
+    def test_singleton_groups(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank)  # every rank alone
+            return sub.size, sub.allreduce(99)
+
+        r = spmd(3, prog)
+        assert r.values == [(1, 99)] * 3
+
+    def test_nested_collectives_with_world(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            partial = sub.allreduce(comm.rank + 1)
+            return comm.allreduce(partial)
+
+        r = spmd(4, prog)
+        # Groups: evens sum 1+3=4, odds sum 2+4=6; world allreduce of
+        # per-rank partials = 4+6+4+6 = 20.
+        assert r.values == [20] * 4
+
+    def test_subgroup_bcast_and_gather(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            value = sub.bcast(f"g{comm.rank % 2}" if sub.rank == 0 else None)
+            gathered = sub.gather(comm.rank, root=0)
+            return value, gathered
+
+        r = spmd(4, prog)
+        assert r.values[0] == ("g0", [0, 2])
+        assert r.values[1] == ("g1", None) or r.values[1][0] == "g1"
+
+    def test_clock_shared_with_parent(self):
+        from repro.runtime import CORI_HASWELL
+
+        def prog(comm):
+            sub = comm.split(color=0)
+            before = comm.clock
+            sub.allreduce(np.zeros(1000))
+            return comm.clock > before
+
+        r = run_spmd(3, prog, machine=CORI_HASWELL, timeout=10.0)
+        assert all(r.values)
+
+    def test_bad_tag_rejected(self):
+        from repro.runtime import RankFailedError
+
+        def prog(comm):
+            sub = comm.split(color=0)
+            sub.send(1, 0, tag=-1)
+
+        with pytest.raises(RankFailedError):
+            spmd(2, prog)
