@@ -112,3 +112,92 @@ def speedup_table(
     base_p, base_t = curve[0]
     del base_p
     return [(p, t, (base_t / t) if t > 0 else float("inf")) for p, t in curve]
+
+
+@dataclass
+class CheckpointOverhead:
+    """Modelled cost of checkpointing one configuration.
+
+    The interesting number for a long production run is
+    ``overhead_fraction``: how much of the run's modelled time goes to
+    cutting checkpoints (shard I/O + digest gather + barrier, all
+    charged to the ``checkpoint`` trace category).
+    """
+
+    plain: LouvainResult
+    checkpointed: LouvainResult
+    num_checkpoints: int
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        trace = self.checkpointed.trace
+        if trace is None:
+            return 0.0
+        return trace.seconds_by_category().get("checkpoint", 0.0)
+
+    @property
+    def overhead_fraction(self) -> float:
+        trace = self.checkpointed.trace
+        if trace is None:
+            return 0.0
+        return trace.fraction_by_category().get("checkpoint", 0.0)
+
+    def format(self) -> str:
+        return (
+            f"{self.num_checkpoints} checkpoint(s): "
+            f"{self.checkpoint_seconds:.6f}s modelled "
+            f"({100.0 * self.overhead_fraction:.2f}% of run), "
+            f"elapsed {self.plain.elapsed:.6f}s -> "
+            f"{self.checkpointed.elapsed:.6f}s"
+        )
+
+
+def measure_checkpoint_overhead(
+    g: CSRGraph,
+    nranks: int,
+    config: LouvainConfig,
+    checkpoint_dir: str,
+    *,
+    checkpoint_every: int = 1,
+    checkpoint_every_iterations: int | None = None,
+    machine: MachineModel = CORI_HASWELL,
+    partition: str = "even_edge",
+) -> CheckpointOverhead:
+    """Run ``g`` plain and with checkpointing; report the modelled cost.
+
+    Both runs use the same seed and machine model, so the checkpointed
+    run's extra elapsed time is exactly the checkpoint overhead (the
+    results themselves are verified identical — checkpoint writes never
+    perturb the algorithm).
+    """
+    import os
+
+    plain = run_louvain(
+        g, nranks, config, machine=machine, partition=partition
+    )
+    checkpointed = run_louvain(
+        g,
+        nranks,
+        config,
+        machine=machine,
+        partition=partition,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        checkpoint_every_iterations=checkpoint_every_iterations,
+    )
+    if checkpointed.modularity != plain.modularity:
+        raise RuntimeError(
+            "checkpointed run diverged from plain run "
+            f"(Q={checkpointed.modularity} vs {plain.modularity})"
+        )
+    # Sequence numbers are monotonic, so the newest surviving step dir
+    # reveals how many checkpoints were cut even after pruning.
+    seqs = [
+        int(name.split("-", 1)[1])
+        for name in os.listdir(checkpoint_dir)
+        if name.startswith("step-")
+    ]
+    num = max(seqs) + 1 if seqs else 0
+    return CheckpointOverhead(
+        plain=plain, checkpointed=checkpointed, num_checkpoints=num
+    )

@@ -6,12 +6,15 @@
     repro-louvain convert  native.txt graph.bin
     repro-louvain info     graph.bin
     repro-louvain detect   graph.bin --ranks 8 --variant etc --alpha 0.25 \\
-                           --out communities.txt
+                           --out communities.txt --checkpoint-dir ckpts/
+    repro-louvain ckpt     validate ckpts/
     repro-louvain compare  communities.txt ground_truth.txt
 
 ``generate`` produces the synthetic stand-ins from the dataset registry,
 ``convert`` runs the paper's native-format-to-binary step, ``detect``
-does the distributed ingest + Louvain run, ``compare`` scores a result
+does the distributed ingest + Louvain run (optionally writing resilience
+checkpoints, or resuming from them with ``--resume``), ``ckpt``
+inspects/validates a checkpoint directory, ``compare`` scores a result
 against ground truth with the §V-D metrics.
 """
 
@@ -72,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the time breakdown")
     det.add_argument("--chrome-trace",
                      help="write a Perfetto/chrome://tracing JSON timeline")
+    det.add_argument("--checkpoint-dir",
+                     help="write resilience checkpoints under this directory")
+    det.add_argument("--checkpoint-every", type=int, default=1,
+                     metavar="PHASES",
+                     help="checkpoint every N phase boundaries (default 1)")
+    det.add_argument("--checkpoint-every-iterations", type=int,
+                     metavar="ITERS",
+                     help="also checkpoint every K iterations inside a phase")
+    det.add_argument("--resume", action="store_true",
+                     help="resume from the latest valid checkpoint in "
+                          "--checkpoint-dir instead of starting fresh")
+
+    ckpt = sub.add_parser(
+        "ckpt", help="inspect or validate a checkpoint directory"
+    )
+    ckpt.add_argument("action", choices=("list", "validate"))
+    ckpt.add_argument("directory", help="checkpoint directory to inspect")
 
     cmp_ = sub.add_parser(
         "compare", help="score detected communities against ground truth"
@@ -131,10 +151,35 @@ def _cmd_detect(args) -> int:
         use_coloring=args.coloring,
         seed=args.seed,
     )
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 1
+    if args.resume:
+        from .resilience import latest_valid_manifest
+
+        if latest_valid_manifest(
+            args.checkpoint_dir, expect_size=args.ranks
+        ) is None:
+            print(
+                f"error: no valid checkpoint for {args.ranks} rank(s) "
+                f"under {args.checkpoint_dir!r}",
+                file=sys.stderr,
+            )
+            return 1
 
     def main_spmd(comm):
-        dg = DistGraph.load_binary(comm, args.input)
-        return distributed_louvain(comm, dg, config)
+        # A resumed run rebuilds its graph slice from the checkpoint,
+        # so the (possibly long) distributed ingest is skipped entirely.
+        dg = None if args.resume else DistGraph.load_binary(comm, args.input)
+        return distributed_louvain(
+            comm,
+            dg,
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_every_iterations=args.checkpoint_every_iterations,
+            resume=args.resume,
+        )
 
     spmd = run_spmd(
         args.ranks, main_spmd, trace_events=bool(args.chrome_trace)
@@ -158,6 +203,32 @@ def _cmd_detect(args) -> int:
             json.dump(spmd.trace.to_chrome_trace(), fh)
         print(f"timeline written to {args.chrome_trace} "
               "(open in Perfetto / chrome://tracing)")
+    return 0
+
+
+def _cmd_ckpt(args) -> int:
+    from .resilience import scan_checkpoints, verify_manifest
+
+    entries = scan_checkpoints(args.directory)
+    if not entries:
+        print(f"{args.directory}: no checkpoints found")
+        return 1 if args.action == "validate" else 0
+    bad = 0
+    for name, manifest, err in entries:
+        if manifest is None:
+            print(f"{name}: INVALID ({err})")
+            bad += 1
+            continue
+        problems = verify_manifest(manifest) if args.action == "validate" else []
+        if problems:
+            print(f"{name}: INVALID ({'; '.join(problems)})")
+            bad += 1
+        else:
+            print(f"{name}: {manifest.describe()}")
+    if args.action == "validate":
+        good = len(entries) - bad
+        print(f"{good}/{len(entries)} checkpoint(s) valid")
+        return 1 if bad else 0
     return 0
 
 
@@ -190,6 +261,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "info": _cmd_info,
     "detect": _cmd_detect,
+    "ckpt": _cmd_ckpt,
     "compare": _cmd_compare,
 }
 

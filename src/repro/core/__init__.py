@@ -31,6 +31,7 @@ from .result import (
     normalize_assignment,
 )
 from .resultio import (
+    RESULT_FORMAT_VERSION,
     load_result,
     read_communities_text,
     save_result,
@@ -53,6 +54,7 @@ __all__ = [
     "LouvainResult",
     "PAPER_VARIANTS",
     "PhaseStats",
+    "RESULT_FORMAT_VERSION",
     "SweepResult",
     "ThresholdCycler",
     "Variant",

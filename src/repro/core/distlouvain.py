@@ -201,6 +201,8 @@ def louvain_phase_distributed(
     config: LouvainConfig,
     phase: int,
     initial_assignment: np.ndarray | None = None,
+    checkpoint_hook=None,
+    resume_state=None,
 ) -> _PhaseOutcome:
     """Algorithm 3: the Louvain iterations of one phase at this rank.
 
@@ -208,6 +210,14 @@ def louvain_phase_distributed(
     global vertex-id space) seeds the phase instead of singletons —
     the hook the dynamic/incremental mode uses to warm-start from a
     previous solution.
+
+    ``checkpoint_hook`` (resilience subsystem) is called at the end of
+    every non-final iteration with the live loop state, so mid-phase
+    checkpoints can be cut; ``resume_state`` (a
+    :class:`repro.resilience.louvain_state.IterationState`) rejoins the
+    iteration loop from such a checkpoint instead of the singleton
+    state.  Both are collective-consistent: the hook fires at the same
+    iterations on every rank.
     """
     plan = dg.build_ghost_plan(comm)
     ctargets = dg.compressed_targets(plan)
@@ -274,8 +284,28 @@ def louvain_phase_distributed(
     q = 0.0
     ghost_comm = np.empty(0, dtype=np.int64)
     exited_by_inactive = False
+    start_it = 0
 
-    for it in range(config.max_iterations):
+    if resume_state is not None:
+        # Rejoin the loop exactly where the checkpoint was cut.  The
+        # ghost channel is fresh, so the first refresh is a full one —
+        # it reproduces the same ghost values the uninterrupted run's
+        # (possibly delta) refresh would hold at this point.
+        local_comm = resume_state.local_comm.astype(np.int64).copy()
+        tot_owned = resume_state.tot_owned.astype(np.float64).copy()
+        size_owned = resume_state.size_owned.astype(np.int64).copy()
+        stats = list(resume_state.stats)
+        prev_q = resume_state.prev_q
+        q = resume_state.q
+        start_it = resume_state.iteration + 1
+        if et is not None and resume_state.et_prob is not None:
+            et.prob = resume_state.et_prob.astype(np.float64).copy()
+            et.permanently_inactive = resume_state.et_inactive.astype(
+                bool
+            ).copy()
+            et.rng.bit_generator.state = resume_state.et_rng_state
+
+    for it in range(start_it, config.max_iterations):
         # ET: vertices mark themselves active/inactive first (§IV-B(b)).
         active = et.draw_active() if et is not None else np.ones(nloc, bool)
 
@@ -348,6 +378,22 @@ def louvain_phase_distributed(
         if q - prev_q <= tau:
             break
         prev_q = q
+        if checkpoint_hook is not None:
+            # The phase continues past this iteration on every rank
+            # (all exit tests are derived from replicated global
+            # values), so cutting a checkpoint here is collective-safe.
+            checkpoint_hook(
+                {
+                    "iteration": it,
+                    "prev_q": prev_q,
+                    "q": q,
+                    "stats": stats,
+                    "local_comm": local_comm,
+                    "tot_owned": tot_owned,
+                    "size_owned": size_owned,
+                    "et": et,
+                }
+            )
 
     # Refresh ghosts one last time so reconstruction sees final state.
     ghost_comm = ghosts.refresh(comm, local_comm)
@@ -482,11 +528,89 @@ def _exact_modularity(
     return float(total[0] / w - resolution * total[1] / (w * w))
 
 
+def _load_restored_state(comm: Communicator, manager):
+    """Fetch this rank's checkpointed state for ``resume=True``.
+
+    Prefers state attached by ``run_spmd(..., restore_from=...)`` (the
+    world's clocks are already resumed there); otherwise performs the
+    collective load through the checkpoint manager and resumes the
+    clock here.
+    """
+    from ..resilience.louvain_state import unpack_rank_state
+
+    attached = getattr(comm, "restored", None)
+    if attached is not None:
+        attached.consumed = True
+        return unpack_rank_state(comm.rank, attached.meta, attached.arrays)
+    if manager is None:
+        raise ValueError(
+            "resume=True requires checkpoint_dir= or a world restored "
+            "via run_spmd(..., restore_from=...)"
+        )
+    _, meta, arrays = manager.load_latest(comm)
+    state = unpack_rank_state(comm.rank, meta, arrays)
+    # Resumed modelled time = time at the checkpoint + restore cost
+    # accrued so far on this fresh world.
+    comm.clock += state.clock
+    return state
+
+
+def _save_checkpoint(
+    manager,
+    comm: Communicator,
+    *,
+    kind: str,
+    phase: int,
+    iteration: int,
+    dg: DistGraph,
+    orig_slice: np.ndarray,
+    prev_mod: float,
+    final_mod: float,
+    phases: list[PhaseStats],
+    iterations: list[IterationStats],
+    cycler: ThresholdCycler | None,
+    seed_assignment: np.ndarray | None = None,
+    phase_assignments: list[np.ndarray] | None = None,
+    iteration_state=None,
+) -> None:
+    """Cut one checkpoint (collective; charged to ``checkpoint``)."""
+    from ..resilience.louvain_state import pack_rank_state
+
+    meta, arrays = pack_rank_state(
+        kind=kind,
+        phase=phase,
+        dg=dg,
+        orig_slice=orig_slice,
+        prev_mod=prev_mod,
+        final_mod=final_mod,
+        phases=phases,
+        iterations=iterations,
+        in_final_pass=bool(cycler.in_final_pass) if cycler else False,
+        clock=comm.clock,
+        seed_assignment=seed_assignment,
+        phase_assignments=phase_assignments if comm.rank == 0 else None,
+        iteration_state=iteration_state,
+    )
+    manager.save(
+        comm,
+        kind=kind,
+        phase=phase,
+        iteration=iteration,
+        meta=meta,
+        arrays=arrays,
+    )
+
+
 def distributed_louvain(
     comm: Communicator,
-    dg: DistGraph,
+    dg: DistGraph | None,
     config: LouvainConfig | None = None,
     initial_assignment: np.ndarray | None = None,
+    *,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    checkpoint_every_iterations: int | None = None,
+    resume: bool = False,
 ) -> LouvainResult:
     """Algorithm 2: the full multi-phase distributed Louvain at one rank.
 
@@ -497,33 +621,153 @@ def distributed_louvain(
     ``initial_assignment`` warm-starts phase 0 from an existing
     community per owned vertex (global community ids drawn from the
     vertex-id space) — the incremental/dynamic re-detection mode.
+
+    Resilience (see :mod:`repro.resilience`): with ``checkpoint_dir``
+    set, the distributed state is checkpointed at every
+    ``checkpoint_every``-th phase boundary (and every
+    ``checkpoint_every_iterations`` Louvain iterations inside a phase,
+    when set).  With ``resume=True`` the run restarts from the latest
+    valid checkpoint instead of the input graph (``dg`` may then be
+    ``None``); a resumed run reproduces the uninterrupted run's final
+    labels and modularity bit for bit.
     """
     config = config or LouvainConfig()
+    manager = None
+    if checkpoint_dir is not None:
+        from ..resilience.checkpoint import CheckpointManager
+
+        manager = CheckpointManager(
+            checkpoint_dir,
+            every_phases=checkpoint_every,
+            every_iterations=checkpoint_every_iterations,
+            label=config.label(),
+        )
+
     cycler = (
         ThresholdCycler(config)
         if config.variant.uses_threshold_cycling
         else None
     )
-    # Each rank tracks the current meta-vertex of the original vertices
-    # it loaded (its phase-0 interval).
-    orig_slice = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
-    prev_mod = -np.inf
-    phases: list[PhaseStats] = []
-    iterations: list[IterationStats] = []
-    phase_assignments: list[np.ndarray] | None = (
-        [] if config.track_assignments else None
-    )
-    final_mod = 0.0
+    restored = _load_restored_state(comm, manager) if resume else None
+    if restored is not None:
+        dg = restored.dg
+        orig_slice = restored.orig_slice
+        prev_mod = restored.prev_mod
+        final_mod = restored.final_mod
+        phases = restored.phases
+        iterations = restored.iterations
+        start_phase = restored.phase
+        initial_assignment = restored.seed_assignment
+        resume_iter = restored.iteration_state
+        if cycler is not None and restored.in_final_pass:
+            cycler.enter_final_pass()
+        phase_assignments: list[np.ndarray] | None = (
+            (restored.phase_assignments or [])
+            if config.track_assignments
+            else None
+        )
+    else:
+        if dg is None:
+            raise ValueError("dg may only be None when resume=True")
+        # Each rank tracks the current meta-vertex of the original
+        # vertices it loaded (its phase-0 interval).
+        orig_slice = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+        prev_mod = -np.inf
+        phases = []
+        iterations = []
+        final_mod = 0.0
+        start_phase = 0
+        resume_iter = None
+        phase_assignments = [] if config.track_assignments else None
 
-    for phase in range(config.max_phases):
+    for phase in range(start_phase, config.max_phases):
         tau = cycler.tau_for_phase(phase) if cycler else config.tau
+        phase_resume = (
+            resume_iter
+            if restored is not None and phase == start_phase
+            else None
+        )
+        seed = (
+            initial_assignment
+            if phase == 0 and phase_resume is None
+            else None
+        )
+        if (
+            manager is not None
+            and manager.should_checkpoint_phase(phase)
+            # Don't re-cut the checkpoint we just restored from.
+            and not (restored is not None and phase == start_phase)
+        ):
+            _save_checkpoint(
+                manager,
+                comm,
+                kind="phase",
+                phase=phase,
+                iteration=-1,
+                dg=dg,
+                orig_slice=orig_slice,
+                prev_mod=prev_mod,
+                final_mod=final_mod,
+                phases=phases,
+                iterations=iterations,
+                cycler=cycler,
+                seed_assignment=seed,
+                phase_assignments=phase_assignments,
+            )
+
+        ckpt_hook = None
+        if manager is not None and manager.every_iterations:
+            from ..resilience.louvain_state import IterationState
+
+            def ckpt_hook(state, _dg=dg, _phase=phase):
+                if not manager.should_checkpoint_iteration(
+                    state["iteration"]
+                ):
+                    return
+                et = state["et"]
+                _save_checkpoint(
+                    manager,
+                    comm,
+                    kind="iteration",
+                    phase=_phase,
+                    iteration=state["iteration"],
+                    dg=_dg,
+                    orig_slice=orig_slice,
+                    prev_mod=prev_mod,
+                    final_mod=final_mod,
+                    phases=phases,
+                    iterations=iterations,
+                    cycler=cycler,
+                    phase_assignments=phase_assignments,
+                    iteration_state=IterationState(
+                        iteration=state["iteration"],
+                        prev_q=state["prev_q"],
+                        q=state["q"],
+                        stats=state["stats"],
+                        local_comm=state["local_comm"],
+                        tot_owned=state["tot_owned"],
+                        size_owned=state["size_owned"],
+                        et_prob=None if et is None else et.prob,
+                        et_inactive=(
+                            None if et is None else et.permanently_inactive
+                        ),
+                        et_rng_state=(
+                            None
+                            if et is None
+                            else et.rng.bit_generator.state
+                        ),
+                    ),
+                )
+
         out = louvain_phase_distributed(
             comm,
             dg,
             tau,
             config,
             phase,
-            initial_assignment=initial_assignment if phase == 0 else None,
+            initial_assignment=seed,
+            checkpoint_hook=ckpt_hook,
+            resume_state=phase_resume,
         )
         iterations.extend(out.stats)
         n_vertices = dg.num_global_vertices
@@ -610,6 +854,11 @@ def run_louvain(
     partition: str = "even_edge",
     timeout: float = 300.0,
     initial_assignment: np.ndarray | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    checkpoint_every_iterations: int | None = None,
+    resume: bool = False,
+    fault_plan=None,
 ) -> LouvainResult:
     """Driver: distribute ``g`` over ``nranks`` simulated ranks and run.
 
@@ -617,21 +866,47 @@ def run_louvain(
     per-category trace of the whole SPMD run.  ``initial_assignment``
     (community id per *global* vertex; any integer labels) warm-starts
     the run — see :mod:`repro.core.dynamic`.
+
+    Resilience knobs (see :mod:`repro.resilience`): ``checkpoint_dir``
+    enables phase-boundary (and, with
+    ``checkpoint_every_iterations``, mid-phase) checkpointing;
+    ``resume=True`` restarts from the latest valid checkpoint (the
+    input graph is not re-distributed — state comes from the shards);
+    ``fault_plan`` injects deterministic failures
+    (:class:`repro.resilience.faults.FaultPlan`).
     """
     seed_global = None
     if initial_assignment is not None:
         seed_global = _labels_to_vertex_space(initial_assignment)
 
     def main(comm: Communicator) -> LouvainResult:
+        if resume:
+            return distributed_louvain(
+                comm,
+                None,
+                config,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                checkpoint_every_iterations=checkpoint_every_iterations,
+                resume=True,
+            )
         dg = DistGraph.distribute(comm, g, partition=partition)
         seed_local = (
             seed_global[dg.vbegin:dg.vend] if seed_global is not None else None
         )
         return distributed_louvain(
-            comm, dg, config, initial_assignment=seed_local
+            comm,
+            dg,
+            config,
+            initial_assignment=seed_local,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_every_iterations=checkpoint_every_iterations,
         )
 
-    spmd: SPMDResult = run_spmd(nranks, main, machine=machine, timeout=timeout)
+    spmd: SPMDResult = run_spmd(
+        nranks, main, machine=machine, timeout=timeout, fault_plan=fault_plan
+    )
     result: LouvainResult = spmd.value
     result.elapsed = spmd.elapsed
     result.trace = spmd.trace

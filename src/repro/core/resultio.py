@@ -11,17 +11,30 @@ Two formats:
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import tempfile
 
 import numpy as np
 
 from .result import LouvainResult, PhaseStats
 
+#: On-disk ``.npz`` layout version.  Bump on incompatible changes; v1
+#: files (written before the field existed) are still accepted.
+RESULT_FORMAT_VERSION = 2
+
 
 def save_result(path: str | os.PathLike, result: LouvainResult) -> None:
-    """Save a result as ``.npz`` (assignment + run metadata)."""
+    """Save a result as ``.npz`` (assignment + run metadata).
+
+    The write is crash-safe: the archive is assembled in memory,
+    written to a temporary file in the destination directory, and moved
+    into place with an atomic rename — a crash mid-save never leaves a
+    truncated file at ``path``.
+    """
     meta = {
+        "format_version": RESULT_FORMAT_VERSION,
         "modularity": result.modularity,
         "elapsed": result.elapsed,
         "phases": [
@@ -37,11 +50,25 @@ def save_result(path: str | os.PathLike, result: LouvainResult) -> None:
             for p in result.phases
         ],
     }
+    buf = io.BytesIO()
     np.savez_compressed(
-        path,
+        buf,
         assignment=result.assignment,
         meta=np.array(json.dumps(meta)),
     )
+    path = os.fspath(path)
+    if not path.endswith(".npz"):  # np.savez appends the suffix itself
+        path += ".npz"
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(buf.getvalue())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def load_result(path: str | os.PathLike) -> LouvainResult:
@@ -49,10 +76,19 @@ def load_result(path: str | os.PathLike) -> LouvainResult:
 
     Per-iteration statistics are not persisted (they are diagnostics of
     a run, not part of the result); phases and the final state are.
+    Raises :class:`ValueError` if the file was written by a newer,
+    incompatible format version.
     """
     with np.load(path, allow_pickle=False) as data:
         assignment = data["assignment"]
         meta = json.loads(str(data["meta"]))
+    version = meta.get("format_version", 1)  # pre-versioning files are v1
+    if not 1 <= version <= RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"{os.fspath(path)}: result format version {version} is not "
+            f"supported (this build reads versions 1.."
+            f"{RESULT_FORMAT_VERSION}); re-save with a matching version"
+        )
     phases = [
         PhaseStats(
             phase=p["phase"],

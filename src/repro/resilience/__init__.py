@@ -1,0 +1,70 @@
+"""Resilience subsystem: checkpoint/restore + deterministic fault injection.
+
+Long multi-phase runs (hours on billion-edge inputs on the real machine)
+must survive rank failures without losing completed phases.  This
+subpackage provides the three layers:
+
+* **checkpointing** (:mod:`.checkpoint`) — versioned, checksummed,
+  per-rank-sharded snapshots of the distributed state at phase
+  boundaries (and optionally every K iterations), written atomically so
+  a crash never leaves a half-valid checkpoint;
+* **fault injection** (:mod:`.faults`) — seeded, deterministic failure
+  schedules (kill a rank at operation N, delay/drop messages, corrupt a
+  shard on disk) so recovery can be exercised and *proven* in tests;
+* **recovery** — ``run_spmd(..., restore_from=dir)`` and
+  ``distributed_louvain(..., checkpoint_dir=dir, resume=True)`` restart
+  the world from the latest valid manifest; a resumed run reproduces the
+  uninterrupted run's final labels and modularity bit for bit.
+
+Checkpoint overhead is charged to the ``checkpoint`` trace category, so
+the bench harness reports it alongside the paper's §V-A breakdown.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    CorruptShardError,
+    Manifest,
+    ManifestError,
+    NoCheckpointError,
+    RestoredRank,
+    ShardInfo,
+    latest_valid_manifest,
+    load_shard,
+    read_manifest,
+    restore_world,
+    scan_checkpoints,
+    verify_manifest,
+)
+from .faults import FaultPlan, corrupt_checkpoint_shard
+from .louvain_state import (
+    IterationState,
+    RestoredLouvainState,
+    pack_rank_state,
+    unpack_rank_state,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointManager",
+    "CorruptShardError",
+    "FaultPlan",
+    "IterationState",
+    "Manifest",
+    "ManifestError",
+    "NoCheckpointError",
+    "RestoredLouvainState",
+    "RestoredRank",
+    "ShardInfo",
+    "corrupt_checkpoint_shard",
+    "latest_valid_manifest",
+    "load_shard",
+    "pack_rank_state",
+    "read_manifest",
+    "restore_world",
+    "scan_checkpoints",
+    "unpack_rank_state",
+    "verify_manifest",
+]

@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the simulated SPMD runtime.
+
+A :class:`FaultPlan` describes, ahead of time, exactly which failures a
+run will experience: kill rank ``r`` at its N-th communication
+operation, delay or drop specific point-to-point messages, or (via
+:func:`corrupt_checkpoint_shard`) damage a checkpoint file on disk.
+Because the SPMD programs are deterministic given their seeds, the same
+plan reproduces the same failure at the same point every run — which is
+what makes recovery *testable*: kill a run mid-phase, resume it from its
+last checkpoint, and assert the final labels are bit-identical to an
+uninterrupted run.
+
+The plan plugs into the runtime via ``run_spmd(..., fault_plan=plan)``;
+the communicator consults it on every send/recv/collective (see
+:meth:`FaultPlan.on_op`) and raises the existing
+:class:`~repro.runtime.errors.InjectedFault` /
+:class:`~repro.runtime.errors.RankAborted` /
+:class:`~repro.runtime.errors.RankFailedError` hierarchy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..runtime.errors import InjectedFault
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected failures.
+
+    Attributes
+    ----------
+    kills:
+        ``{rank: op_index}`` — the rank raises
+        :class:`~repro.runtime.errors.InjectedFault` at its first
+        communication operation with index >= ``op_index``.
+    delays:
+        ``{(rank, op_index): seconds}`` — extra virtual latency charged
+        to that operation (models congestion / a slow link).
+    drops:
+        ``{(rank, op_index)}`` — that point-to-point *send* is silently
+        lost; the receiver eventually times out
+        (:class:`~repro.runtime.errors.CommTimeoutError`), like a lost
+        message on a real network.
+    seed:
+        Provenance of a :meth:`seeded` plan (None for explicit plans).
+    """
+
+    kills: dict[int, int] = field(default_factory=dict)
+    delays: dict[tuple[int, int], float] = field(default_factory=dict)
+    drops: set[tuple[int, int]] = field(default_factory=set)
+    seed: int | None = None
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        size: int,
+        *,
+        min_step: int = 1,
+        max_step: int = 200,
+    ) -> "FaultPlan":
+        """Derive a single-kill plan deterministically from a seed.
+
+        The victim rank and kill step are drawn from
+        ``np.random.default_rng(seed)``, so the same ``(seed, size)``
+        always yields the same kill point.
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if not 0 < min_step <= max_step:
+            raise ValueError(
+                f"need 0 < min_step <= max_step, got [{min_step}, {max_step}]"
+            )
+        rng = np.random.default_rng(seed)
+        victim = int(rng.integers(size))
+        step = int(rng.integers(min_step, max_step + 1))
+        return cls(kills={victim: step}, seed=seed)
+
+    def kill_point(self) -> tuple[int, int] | None:
+        """The (rank, op_index) of the earliest scheduled kill, if any."""
+        if not self.kills:
+            return None
+        rank = min(self.kills, key=lambda r: (self.kills[r], r))
+        return rank, self.kills[rank]
+
+    def on_op(self, rank: int, op_index: int, op_name: str):
+        """Runtime hook: called before every communication operation.
+
+        Raises :class:`InjectedFault` for a scheduled kill; otherwise
+        returns ``("delay", seconds)``, ``("drop",)``, or ``None``.
+        """
+        step = self.kills.get(rank)
+        if step is not None and op_index >= step:
+            raise InjectedFault(rank, op_index, op_name)
+        if (rank, op_index) in self.drops and op_name == "send":
+            return ("drop",)
+        dt = self.delays.get((rank, op_index))
+        if dt:
+            return ("delay", float(dt))
+        return None
+
+
+def corrupt_checkpoint_shard(
+    path: str | os.PathLike, seed: int = 0, nbytes: int = 16
+) -> int:
+    """Deterministically flip bytes inside a checkpoint shard file.
+
+    Returns the offset of the damage.  Used to prove that restore
+    detects corruption (the shard's manifest checksum no longer
+    matches) and falls back to an older valid checkpoint.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    rng = np.random.default_rng(seed)
+    nbytes = min(nbytes, size)
+    offset = int(rng.integers(0, size - nbytes + 1))
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        chunk = bytearray(fh.read(nbytes))
+        for i in range(len(chunk)):
+            chunk[i] ^= 0xFF
+        fh.seek(offset)
+        fh.write(bytes(chunk))
+    return offset

@@ -17,6 +17,7 @@ from .comm import (
 from .errors import (
     CollectiveMismatchError,
     CommTimeoutError,
+    InjectedFault,
     InvalidRankError,
     RankAborted,
     RankFailedError,
@@ -45,6 +46,7 @@ __all__ = [
     "CollectiveMismatchError",
     "CommTimeoutError",
     "Communicator",
+    "InjectedFault",
     "InvalidRankError",
     "MachineModel",
     "OpenMPModel",

@@ -27,6 +27,15 @@ Semantics notes (documented deviations from real MPI):
   MPI requires; mismatches raise
   :class:`~repro.runtime.errors.CollectiveMismatchError` instead of the
   undefined behaviour real MPI gives you.
+
+Fault injection: the :class:`World` optionally carries a *fault plan*
+(any object with ``on_op(rank, op_index, op_name)``; see
+:class:`repro.resilience.faults.FaultPlan`).  Every send/recv/collective
+first consults it.  The plan may raise
+:class:`~repro.runtime.errors.InjectedFault` (killing the rank), or
+return ``("delay", seconds)`` to add virtual latency, ``("drop",)`` to
+silently discard a point-to-point send (the receiver eventually times
+out, as with a real lost message), or ``None`` for no action.
 """
 
 from __future__ import annotations
@@ -168,6 +177,11 @@ class World:
         self.machine = machine
         self.timeout = timeout
         self._abort_exc: BaseException | None = None
+        #: Optional fault-injection plan (``on_op(rank, op_index, op)``).
+        self.fault_plan: Any = None
+        # Per-rank communication-operation counters (each rank only ever
+        # touches its own slot, so no locking is needed).
+        self._op_counts: list[int] = [0] * size
         # One mailbox per destination rank: (source, tag) -> FIFO of
         # (payload, arrival_time, nbytes).
         self._boxes: list[dict[tuple[int, int], deque]] = [
@@ -235,6 +249,20 @@ class World:
         with self._box_cvs[dest]:
             return bool(self._boxes[dest][(source, tag)])
 
+    def fault_op(self, rank: int, op_name: str) -> Any:
+        """Advance ``rank``'s op counter and consult the fault plan.
+
+        Op indices are 1-based (the rank's first communication
+        operation is op 1).  Returns the plan's action (``None`` /
+        ``("delay", dt)`` / ``("drop",)``); a kill is raised by the
+        plan itself as :class:`~repro.runtime.errors.InjectedFault`.
+        """
+        n = self._op_counts[rank] + 1
+        self._op_counts[rank] = n
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.on_op(rank, n, op_name)
+
     def subgroup_rendezvous(
         self, members: tuple[int, ...], group_id: int
     ) -> _Rendezvous:
@@ -262,6 +290,23 @@ class Communicator:
         self.clock = 0.0
         self.trace = RankTrace(rank=rank)
 
+    @property
+    def world_rank(self) -> int:
+        """Rank in the world communicator (differs inside subgroups)."""
+        return self.rank
+
+    def _fault_hook(self, op_name: str, category: str) -> Any:
+        """Consult the world's fault plan before a communication op.
+
+        Applies a ``delay`` action immediately (extra virtual latency
+        charged to the op's category) and returns the action so callers
+        can honour ``drop``.
+        """
+        action = self.world.fault_op(self.world_rank, op_name)
+        if isinstance(action, tuple) and action and action[0] == "delay":
+            self.charge(category, float(action[1]))
+        return action
+
     # ------------------------------------------------------------------
     # Local cost charging
     # ------------------------------------------------------------------
@@ -284,6 +329,7 @@ class Communicator:
     def send(self, obj: Any, dest: int, tag: int = 0, category: str = "other") -> None:
         """Buffered send; never blocks."""
         self._check_peer(dest)
+        action = self._fault_hook("send", category)
         n = message_bytes(obj)
         # Sender pays the injection overhead (cheaper when the peer is
         # on the same node); the payload arrives after the full
@@ -292,11 +338,14 @@ class Communicator:
         self.charge(category, alpha)
         arrival = self.clock + self.machine.beta * n
         self.trace.record_send(n)
+        if isinstance(action, tuple) and action and action[0] == "drop":
+            return  # the message is lost in transit
         self.world.post(dest, self.rank, tag, (obj, arrival, n))
 
     def recv(self, source: int, tag: int = 0, category: str = "other") -> Any:
         """Blocking receive of the next matching message (FIFO order)."""
         self._check_peer(source)
+        self._fault_hook("recv", category)
         obj, arrival, n = self.world.take(
             self.rank, source, tag, self.world.timeout
         )
@@ -364,6 +413,7 @@ class Communicator:
         ``finalize`` receives the per-rank deposits ``[(value, clock)]``
         and must return per-rank ``(result, new_clock)`` pairs.
         """
+        self._fault_hook(name, category)
         self.trace.record_collective(name)
         out, new_clock = self.world.rendezvous.exchange(
             self.rank,
@@ -656,6 +706,10 @@ class SubCommunicator(Communicator):
         self._group_id = group_id
         self._rendezvous = rendezvous
 
+    @property
+    def world_rank(self) -> int:
+        return self.parent.rank
+
     # Clock is shared with the parent: one rank, one timeline.
     @property
     def clock(self) -> float:
@@ -689,6 +743,7 @@ class SubCommunicator(Communicator):
         finalize: Callable[[list[Any]], list[Any]],
         category: str,
     ) -> Any:
+        self._fault_hook(name, category)
         self.trace.record_collective(name)
         out, new_clock = self._rendezvous.exchange(
             self.rank,

@@ -58,3 +58,24 @@ class CommTimeoutError(RuntimeSimError):
 
 class InvalidRankError(RuntimeSimError, ValueError):
     """Raised when a source/destination/root rank is out of range."""
+
+
+class InjectedFault(RuntimeSimError):
+    """Raised on a rank killed by a deterministic fault-injection plan.
+
+    The resilience subsystem (:mod:`repro.resilience.faults`) schedules
+    the kill; the communicator raises it at the victim's N-th
+    communication operation.  The executor then treats it like any other
+    rank failure: the world aborts, surviving ranks observe
+    :class:`RankAborted`, and the caller receives a
+    :class:`RankFailedError` whose ``causes`` carry this exception.
+    """
+
+    def __init__(self, rank: int, op_index: int, op_name: str):
+        self.rank = rank
+        self.op_index = op_index
+        self.op_name = op_name
+        super().__init__(
+            f"injected fault: rank {rank} killed at communication "
+            f"operation {op_index} ({op_name})"
+        )

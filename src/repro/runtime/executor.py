@@ -21,7 +21,16 @@ Failure semantics: the first exception on any rank aborts the world;
 other ranks observe :class:`~repro.runtime.errors.RankAborted` at their
 next communication call, and the executor re-raises a single
 :class:`~repro.runtime.errors.RankFailedError` carrying every original
-(non-secondary) failure.
+(non-secondary) failure.  (On ``size == 1`` the fast path lets the
+exception propagate natively instead.)
+
+Resilience hooks: ``fault_plan`` installs a deterministic fault-injection
+plan (see :mod:`repro.resilience.faults`) consulted on every
+communication operation; ``restore_from`` restarts the world from the
+latest valid checkpoint manifest in a directory (see
+:mod:`repro.resilience.checkpoint`) — each rank's virtual clock resumes
+from its saved value and the restored per-rank state is exposed to the
+SPMD program as ``comm.restored``.
 """
 
 from __future__ import annotations
@@ -68,6 +77,8 @@ def run_spmd(
     machine: MachineModel = CORI_HASWELL,
     timeout: float = 300.0,
     trace_events: bool = False,
+    fault_plan: Any = None,
+    restore_from: str | None = None,
     **kwargs: Any,
 ) -> SPMDResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -88,9 +99,25 @@ def run_spmd(
     trace_events:
         Record per-rank virtual-time timelines, enabling
         ``result.trace.to_chrome_trace()`` (Perfetto-compatible export).
+    fault_plan:
+        Deterministic fault-injection plan (any object with
+        ``on_op(rank, op_index, op_name)``; see
+        :class:`repro.resilience.faults.FaultPlan`).
+    restore_from:
+        Checkpoint directory.  The world restarts from the latest valid
+        manifest: each rank's shard is integrity-checked and loaded, its
+        virtual clock resumes from the saved value, and the state is
+        attached as ``comm.restored`` for the SPMD program to consume
+        (e.g. ``distributed_louvain(..., resume=True)``).
     """
     world = World(size, machine, timeout=timeout)
+    world.fault_plan = fault_plan
     comms: list[Communicator] = [world.communicator(r) for r in range(size)]
+    if restore_from is not None:
+        # Imported lazily: resilience sits above the runtime layer.
+        from ..resilience.checkpoint import restore_world
+
+        restore_world(comms, restore_from)
     if trace_events:
         for c in comms:
             c.trace.enable_events()

@@ -22,6 +22,7 @@ CATEGORIES = (
     "allreduce",        # global modularity / counters reduction
     "rebuild",          # distributed graph reconstruction
     "io",               # input reading
+    "checkpoint",       # resilience: checkpoint save/load traffic and I/O
     "other",
 )
 

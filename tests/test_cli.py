@@ -91,6 +91,69 @@ class TestDetect:
         assert "Baseline" in capsys.readouterr().out
 
 
+class TestCheckpointCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.graph import write_edgelist
+
+        g = planted_blocks_graph(
+            blocks=4, per_block=10, p_in=0.8, inter_edges=6, seed=3
+        )
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+        return path
+
+    def test_detect_checkpoint_then_resume(self, tmp_path, capsys, graph_file):
+        ck = str(tmp_path / "ck")
+        rc = main([
+            "detect", graph_file, "--ranks", "2", "--variant", "etc",
+            "--checkpoint-dir", ck,
+        ])
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main([
+            "detect", graph_file, "--ranks", "2", "--variant", "etc",
+            "--checkpoint-dir", ck, "--resume",
+        ])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        # same Q= summary line: the resumed run reproduces the original
+        assert first.splitlines()[0] == resumed.splitlines()[0]
+
+    def test_resume_requires_checkpoint_dir(self, graph_file, capsys):
+        rc = main(["detect", graph_file, "--ranks", "2", "--resume"])
+        assert rc == 1
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_ckpt_list_and_validate(self, tmp_path, capsys, graph_file):
+        ck = str(tmp_path / "ck")
+        main(["detect", graph_file, "--ranks", "2", "--checkpoint-dir", ck])
+        capsys.readouterr()
+        assert main(["ckpt", "list", ck]) == 0
+        assert "phase checkpoint" in capsys.readouterr().out
+        assert main(["ckpt", "validate", ck]) == 0
+        assert "checkpoint(s) valid" in capsys.readouterr().out
+
+    def test_ckpt_validate_detects_corruption(self, tmp_path, capsys,
+                                              graph_file):
+        from repro.resilience import corrupt_checkpoint_shard, scan_checkpoints
+
+        ck = str(tmp_path / "ck")
+        main(["detect", graph_file, "--ranks", "2", "--checkpoint-dir", ck])
+        capsys.readouterr()
+        for _name, manifest, _err in scan_checkpoints(ck):
+            corrupt_checkpoint_shard(manifest.shard_path(0), seed=0)
+        assert main(["ckpt", "validate", ck]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_ckpt_empty_directory(self, tmp_path, capsys):
+        empty = str(tmp_path / "nothing")
+        assert main(["ckpt", "list", empty]) == 0
+        assert main(["ckpt", "validate", empty]) == 1
+        assert "no checkpoints found" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_scores(self, tmp_path, capsys):
         det = tmp_path / "d.txt"

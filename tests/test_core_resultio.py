@@ -65,3 +65,66 @@ class TestCommunitiesText:
         path = tmp_path / "c.txt"
         path.write_text("")
         assert len(read_communities_text(path)) == 0
+
+
+class TestFormatVersion:
+    def test_version_written(self, tmp_path, two_cliques):
+        import json
+
+        r = louvain(two_cliques)
+        path = tmp_path / "r.npz"
+        save_result(path, r)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+        from repro.core.resultio import RESULT_FORMAT_VERSION
+
+        assert meta["format_version"] == RESULT_FORMAT_VERSION
+
+    def test_legacy_unversioned_file_accepted(self, tmp_path, two_cliques):
+        # Files written before the format_version field existed load as v1.
+        import json
+
+        r = louvain(two_cliques)
+        path = tmp_path / "r.npz"
+        meta = {"modularity": r.modularity, "elapsed": 0.0, "phases": []}
+        np.savez_compressed(
+            path, assignment=r.assignment, meta=np.array(json.dumps(meta))
+        )
+        r2 = load_result(path)
+        assert r2.modularity == r.modularity
+
+    def test_future_version_rejected(self, tmp_path, two_cliques):
+        import json
+
+        r = louvain(two_cliques)
+        path = tmp_path / "r.npz"
+        meta = {
+            "format_version": 999,
+            "modularity": r.modularity,
+            "elapsed": 0.0,
+            "phases": [],
+        }
+        np.savez_compressed(
+            path, assignment=r.assignment, meta=np.array(json.dumps(meta))
+        )
+        with pytest.raises(ValueError, match="version 999"):
+            load_result(path)
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tmp_path, two_cliques):
+        r = louvain(two_cliques)
+        save_result(tmp_path / "r.npz", r)
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if p.name != "r.npz"
+        ]
+        assert leftovers == []
+
+    def test_suffix_appended_like_numpy(self, tmp_path, two_cliques):
+        # np.savez appends .npz to suffixless paths; the atomic writer
+        # must match so callers see the same on-disk name either way.
+        r = louvain(two_cliques)
+        save_result(tmp_path / "bare", r)
+        assert (tmp_path / "bare.npz").exists()
+        r2 = load_result(tmp_path / "bare.npz")
+        np.testing.assert_array_equal(r.assignment, r2.assignment)

@@ -55,3 +55,10 @@ def test_scaling_study():
     proc = run_example("scaling_study.py")
     assert proc.returncode == 0, proc.stderr
     assert "extrapolated strong scaling" in proc.stdout
+
+
+def test_checkpoint_resume():
+    proc = run_example("checkpoint_resume.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "injected failure:" in proc.stdout
+    assert "bit-identical to uninterrupted run: True" in proc.stdout

@@ -1,0 +1,225 @@
+"""Tests for the resilience subsystem: checkpoint/restore + fault injection.
+
+The headline guarantee: kill a run mid-phase, resume it from its last
+valid checkpoint, and the final labels and modularity are bit-identical
+to an uninterrupted run.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig, Variant, run_louvain
+from repro.resilience import (
+    CorruptShardError,
+    FaultPlan,
+    NoCheckpointError,
+    corrupt_checkpoint_shard,
+    latest_valid_manifest,
+    load_shard,
+    read_manifest,
+    scan_checkpoints,
+    verify_manifest,
+)
+from repro.runtime import (
+    CommTimeoutError,
+    InjectedFault,
+    RankFailedError,
+    run_spmd,
+)
+from tests.conftest import planted_blocks_graph
+
+
+def _graph():
+    return planted_blocks_graph(
+        blocks=4, per_block=12, p_in=0.7, inter_edges=10, seed=3
+    )
+
+
+def _config():
+    return LouvainConfig(variant=Variant.ET_TC, alpha=0.25, seed=1)
+
+
+def _crash(g, p, cfg, ckpt_dir, plan, **kwargs):
+    """Run a checkpointed job that is expected to die from the plan."""
+    with pytest.raises((RankFailedError, InjectedFault)) as exc:
+        run_louvain(
+            g, p, cfg, checkpoint_dir=ckpt_dir, fault_plan=plan, **kwargs
+        )
+    return exc.value
+
+
+def _injected_fault(exc):
+    """Unwrap the InjectedFault whether or not the executor wrapped it."""
+    if isinstance(exc, InjectedFault):
+        return exc
+    for cause in exc.causes.values():
+        if isinstance(cause, InjectedFault):
+            return cause
+    raise AssertionError(f"no InjectedFault among causes: {exc.causes}")
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_resume_is_bit_identical(self, tmp_path, p):
+        """Crash mid-run, resume, and match the uninterrupted run."""
+        g, cfg = _graph(), _config()
+        ref = run_louvain(g, p, cfg)
+        d = str(tmp_path / "ck")
+        plan = FaultPlan(kills={p - 1: 25})
+        _crash(g, p, cfg, d, plan, checkpoint_every_iterations=1)
+        res = run_louvain(g, p, cfg, checkpoint_dir=d, resume=True)
+        np.testing.assert_array_equal(ref.assignment, res.assignment)
+        assert res.modularity == ref.modularity
+
+    def test_resume_from_phase_boundary_only(self, tmp_path):
+        """Phase-boundary cadence alone (no mid-phase checkpoints)."""
+        g, cfg = _graph(), _config()
+        ref = run_louvain(g, 2, cfg)
+        d = str(tmp_path / "ck")
+        _crash(g, 2, cfg, d, FaultPlan(kills={1: 40}))
+        res = run_louvain(g, 2, cfg, checkpoint_dir=d, resume=True)
+        np.testing.assert_array_equal(ref.assignment, res.assignment)
+        assert res.modularity == ref.modularity
+
+    def test_resume_without_checkpoint_raises(self, tmp_path):
+        g, cfg = _graph(), _config()
+        with pytest.raises((RankFailedError, NoCheckpointError)):
+            run_louvain(
+                g, 1, cfg, checkpoint_dir=str(tmp_path / "empty"), resume=True
+            )
+
+    def test_checkpointing_does_not_perturb_result(self, tmp_path):
+        """Checkpoint writes must never change the algorithm's output."""
+        g, cfg = _graph(), _config()
+        ref = run_louvain(g, 2, cfg)
+        res = run_louvain(
+            g, 2, cfg,
+            checkpoint_dir=str(tmp_path / "ck"),
+            checkpoint_every_iterations=2,
+        )
+        np.testing.assert_array_equal(ref.assignment, res.assignment)
+        assert res.modularity == ref.modularity
+
+    def test_trace_includes_checkpoint_category(self, tmp_path):
+        g, cfg = _graph(), _config()
+        res = run_louvain(g, 2, cfg, checkpoint_dir=str(tmp_path / "ck"))
+        assert res.trace is not None
+        seconds = res.trace.seconds_by_category()
+        assert seconds.get("checkpoint", 0.0) > 0.0
+
+
+class TestCorruption:
+    def _checkpointed_run(self, tmp_path):
+        g, cfg = _graph(), _config()
+        d = str(tmp_path / "ck")
+        ref = run_louvain(
+            g, 2, cfg, checkpoint_dir=d, checkpoint_every_iterations=2
+        )
+        return g, cfg, d, ref
+
+    def test_corrupt_shard_detected(self, tmp_path):
+        g, cfg, d, ref = self._checkpointed_run(tmp_path)
+        manifest = latest_valid_manifest(d, expect_size=2)
+        assert manifest is not None
+        shard = manifest.shard_path(1)
+        corrupt_checkpoint_shard(shard, seed=0)
+        assert verify_manifest(manifest)  # non-empty problem list
+        with pytest.raises(CorruptShardError):
+            load_shard(manifest, 1)
+
+    def test_resume_falls_back_to_older_checkpoint(self, tmp_path):
+        g, cfg, d, ref = self._checkpointed_run(tmp_path)
+        steps = sorted(
+            name for name in os.listdir(d) if name.startswith("step-")
+        )
+        assert len(steps) >= 2  # keep=2 retains the two newest
+        newest = read_manifest(os.path.join(d, steps[-1]))
+        corrupt_checkpoint_shard(newest.shard_path(0), seed=1)
+        survivor = latest_valid_manifest(d, expect_size=2)
+        assert survivor is not None
+        assert survivor.seq < newest.seq
+        res = run_louvain(g, 2, cfg, checkpoint_dir=d, resume=True)
+        np.testing.assert_array_equal(ref.assignment, res.assignment)
+        assert res.modularity == ref.modularity
+
+    def test_all_corrupt_raises_no_checkpoint(self, tmp_path):
+        g, cfg, d, ref = self._checkpointed_run(tmp_path)
+        for name, manifest, err in scan_checkpoints(d):
+            assert manifest is not None and err is None
+            for rank in range(manifest.size):
+                corrupt_checkpoint_shard(manifest.shard_path(rank), seed=rank)
+        with pytest.raises(RankFailedError) as exc:
+            run_louvain(g, 2, cfg, checkpoint_dir=d, resume=True)
+        assert any(
+            isinstance(c, NoCheckpointError) for c in exc.value.causes.values()
+        )
+
+
+class TestFaultInjection:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.seeded(7, size=4)
+        b = FaultPlan.seeded(7, size=4)
+        assert a.kill_point() == b.kill_point()
+        assert FaultPlan.seeded(8, size=4).kill_point() != a.kill_point() or (
+            # different seeds may collide; at minimum the API is stable
+            a.kill_point() is not None
+        )
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_same_seed_same_kill_point(self, tmp_path, p):
+        """Two runs under the same plan die at the same operation."""
+        g, cfg = _graph(), _config()
+        plan = FaultPlan.seeded(11, size=p, min_step=10, max_step=30)
+        faults = []
+        for attempt in range(2):
+            d = str(tmp_path / f"ck{attempt}")
+            exc = _crash(g, p, cfg, d, plan, checkpoint_every_iterations=1)
+            faults.append(_injected_fault(exc))
+        assert faults[0].rank == faults[1].rank
+        assert faults[0].op_index == faults[1].op_index
+        assert faults[0].op_name == faults[1].op_name
+
+    def test_single_rank_kill_propagates_natively(self, tmp_path):
+        """The size==1 fast path raises InjectedFault unwrapped."""
+        g, cfg = _graph(), _config()
+        with pytest.raises(InjectedFault):
+            run_louvain(
+                g, 1, cfg,
+                checkpoint_dir=str(tmp_path / "ck"),
+                fault_plan=FaultPlan(kills={0: 5}),
+            )
+
+    def test_dropped_send_times_out(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, 1)
+                return None
+            return comm.recv(0)
+
+        plan = FaultPlan(drops={(0, 1)})
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, program, fault_plan=plan, timeout=0.5)
+        assert any(
+            isinstance(c, CommTimeoutError) for c in exc.value.causes.values()
+        )
+
+    def test_delay_increases_elapsed(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, 1)
+                return None
+            return comm.recv(0)
+
+        plain = run_spmd(2, program)
+        delayed = run_spmd(
+            2, program, fault_plan=FaultPlan(delays={(0, 1): 2.5})
+        )
+        assert delayed.elapsed >= plain.elapsed + 2.5
+
+    def test_invalid_seeded_args(self):
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, size=0)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, size=2, min_step=5, max_step=4)

@@ -76,3 +76,23 @@ class TestTraceReport:
         assert "compute" in text
         assert "ghost_comm" in text
         assert "messages=2" in text
+
+
+class TestCategories:
+    def test_checkpoint_category_registered(self):
+        from repro.runtime.tracing import CATEGORIES
+
+        assert "checkpoint" in CATEGORIES
+
+    def test_checkpointed_run_report_includes_checkpoint(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.core import LouvainConfig, run_louvain
+
+        g = planted_blocks_graph(
+            blocks=3, per_block=8, p_in=0.8, inter_edges=6, seed=1
+        )
+        res = run_louvain(
+            g, 2, LouvainConfig(seed=0), checkpoint_dir=str(tmp_path / "ck")
+        )
+        assert res.trace.seconds_by_category().get("checkpoint", 0.0) > 0.0
+        assert "checkpoint" in res.trace.format()
