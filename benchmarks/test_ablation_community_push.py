@@ -1,0 +1,91 @@
+"""Ablation: owner-push community-info exchange vs the pull protocol.
+
+§V-A attributes ~34% of Baseline runtime to "Community" traffic — the
+per-iteration (a_c, |c|) refresh.  The pull protocol pays three dense
+alltoalls per iteration (fetch request, fetch reply, delta scatter);
+the owner-push protocol (``community_push_updates``) pays one fused
+exchange round trip whose payload covers only the communities that
+*changed*, after a single cold-start pull per phase.  Assignments are
+bit-identical, so the whole difference is transport.
+
+Set ``REPRO_BENCH_GRAPHS=channel`` (comma-separated names) to restrict
+the sweep — the CI smoke job runs the small graph only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core import LouvainConfig, run_louvain
+
+from _cache import graph, machine
+
+BENCH_GRAPHS = tuple(
+    os.environ.get("REPRO_BENCH_GRAPHS", "channel,soc-friendster").split(",")
+)
+
+
+def collect():
+    rows = []
+    for name in BENCH_GRAPHS:
+        g = graph(name)
+        mach = machine(name)
+        for p in (4, 8):
+            pull = run_louvain(g, p, LouvainConfig(), machine=mach)
+            push = run_louvain(
+                g, p, LouvainConfig(community_push_updates=True),
+                machine=mach,
+            )
+            assert np.array_equal(pull.assignment, push.assignment)
+            pull_s = pull.trace.seconds_by_category()["community_comm"]
+            push_s = push.trace.seconds_by_category()["community_comm"]
+            pull_colls = pull.trace.collective_counts()
+            push_colls = push.trace.collective_counts()
+            iters = push.total_iterations
+            # Steady-state community collectives per iteration per rank:
+            # pull = 3 alltoalls; push = 1 fused round trip (plus one
+            # cold-start pull per phase, also an exchange_roundtrip).
+            pull_per_iter = (
+                pull_colls["alltoall"] - push_colls.get("alltoall", 0)
+            ) / (p * iters)
+            push_per_iter = (
+                push_colls["exchange_roundtrip"] / p - push.num_phases
+            ) / iters
+            rows.append(
+                [
+                    name,
+                    p,
+                    round(pull_s, 4),
+                    round(push_s, 4),
+                    round((pull_s - push_s) / pull_s * 100, 1),
+                    round(pull_per_iter, 2),
+                    round(push_per_iter, 2),
+                ]
+            )
+    return rows
+
+
+def test_ablation_community_push(benchmark, record_result):
+    rows = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    record_result(
+        "ablation_community_push",
+        format_table(
+            ["Graph", "p", "pull comm (s)", "push comm (s)", "gain (%)",
+             "pull colls/iter", "push colls/iter"],
+            rows,
+            title="Ablation — community-info transport (§V-A 'Community')",
+        ),
+    )
+    for _, _, pull_s, push_s, gain, pull_per_iter, push_per_iter in rows:
+        # The push protocol must reduce modelled community-comm time...
+        assert push_s < pull_s
+        assert gain > 0
+        # ...and collapse the three alltoalls per iteration to one
+        # fused round trip (cold-start pulls excluded above).
+        assert pull_per_iter == 3.0
+        assert push_per_iter == 1.0

@@ -10,6 +10,8 @@ saving grows with p and with locality of the partition.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.bench import format_table
@@ -17,10 +19,14 @@ from repro.core import LouvainConfig, run_louvain
 
 from _cache import graph, machine
 
+BENCH_GRAPHS = tuple(
+    os.environ.get("REPRO_BENCH_GRAPHS", "channel,soc-friendster").split(",")
+)
+
 
 def collect():
     rows = []
-    for name in ("channel", "soc-friendster"):
+    for name in BENCH_GRAPHS:
         g = graph(name)
         mach = machine(name)
         for p in (4, 8):

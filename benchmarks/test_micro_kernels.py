@@ -7,17 +7,20 @@ performance regressions of the simulator itself are visible:
 * the vectorised move-selection sweep;
 * serial graph coarsening;
 * CSR construction from edge lists;
-* one full communicator round trip (alltoall) across ranks.
+* one full communicator round trip (alltoall) across ranks;
+* the subscription-cache push update of the owner-push community
+  exchange (overwrite-known + merge-insert-unknown).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import coarsen_csr
+from repro.core import coarsen_csr, pack_info
+from repro.core.commcache import CommunityCache
 from repro.core.sweep import propose_moves
 from repro.generators import generate_lfr
-from repro.graph import CSRGraph, EdgeList
+from repro.graph import CSRGraph, DistGraph, EdgeList
 from repro.runtime import FREE, run_spmd
 
 
@@ -75,6 +78,38 @@ def test_kernel_edgelist_dedup(benchmark):
 
     el = benchmark(EdgeList.from_arrays, n, u, v)
     assert el.num_edges > 0
+
+
+def test_kernel_subscription_cache_update(benchmark):
+    g = _graph().to_csr()
+    n = g.num_vertices
+    dg = DistGraph.from_global(g, np.array([0, n // 2, n]), 0)
+    rng = np.random.default_rng(3)
+    # Warm cache over half the remote id space; each push touches a mix
+    # of known (overwrite) and unknown (merge-insert) communities.
+    warm = np.unique(rng.integers(n // 2, n, 4000))
+    pushes = [
+        pack_info(
+            ids := np.unique(rng.integers(n // 2, n, 800)),
+            rng.random(len(ids)),
+            rng.integers(1, 50, len(ids)),
+        )
+        for _ in range(16)
+    ]
+
+    def update():
+        cache = CommunityCache(dg, comm_size=2)
+        cache._insert(
+            pack_info(warm, rng.random(len(warm)),
+                      np.ones(len(warm), np.int64))
+        )
+        for packed in pushes:
+            cache._apply_push(packed)
+        return cache
+
+    cache = benchmark(update)
+    assert cache.pushed_entries == sum(len(x) for x in pushes)
+    assert len(cache.ids) >= len(warm)
 
 
 def test_kernel_alltoall_roundtrip(benchmark):

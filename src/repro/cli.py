@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--resolution", type=float, default=1.0)
     det.add_argument("--coloring", action="store_true",
                      help="distance-1 coloring (§VI future work)")
+    det.add_argument("--community-push", action="store_true",
+                     help="owner-push community-info exchange "
+                          "(subscription caches; bit-identical)")
     det.add_argument("--seed", type=int, default=0)
     det.add_argument("--out", help="write 'vertex community' text file")
     det.add_argument("--save", help="write .npz result file")
@@ -149,6 +152,7 @@ def _cmd_detect(args) -> int:
         tau=args.tau,
         resolution=args.resolution,
         use_coloring=args.coloring,
+        community_push_updates=args.community_push,
         seed=args.seed,
     )
     if args.resume and not args.checkpoint_dir:

@@ -2,6 +2,13 @@
 
 from .coarsen import coarsen_csr, rebuild_distributed, remote_lookup
 from .coloring import distributed_coloring, verify_coloring
+from .commcache import (
+    COMM_INFO_DTYPE,
+    CommunityCache,
+    aggregate_deltas,
+    pack_info,
+    unpack_info,
+)
 from .config import (
     DEFAULT_THRESHOLD_CYCLE,
     PAPER_VARIANTS,
@@ -47,6 +54,8 @@ from .validate import (
 )
 
 __all__ = [
+    "COMM_INFO_DTYPE",
+    "CommunityCache",
     "DEFAULT_THRESHOLD_CYCLE",
     "EarlyTermination",
     "IterationStats",
@@ -60,6 +69,7 @@ __all__ = [
     "Variant",
     "AuditReport",
     "ChurnStats",
+    "aggregate_deltas",
     "EdgeChurn",
     "apply_churn",
     "audit_community_info",
@@ -82,6 +92,7 @@ __all__ = [
     "modularity_bounds_ok",
     "move_gain",
     "normalize_assignment",
+    "pack_info",
     "propose_moves",
     "read_communities_text",
     "rebuild_distributed",
@@ -89,6 +100,7 @@ __all__ = [
     "run_louvain",
     "save_result",
     "sorted_lookup",
+    "unpack_info",
     "verify_coloring",
     "vertex_following_seed",
     "write_communities_text",

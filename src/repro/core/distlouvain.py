@@ -42,11 +42,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..graph.distgraph import DistGraph
+from ..graph.distgraph import DistGraph, split_by_rank
 from ..runtime.comm import Communicator
 from ..runtime.executor import SPMDResult, run_spmd
 from ..runtime.perfmodel import CORI_HASWELL, MachineModel
 from .coarsen import rebuild_distributed, remote_lookup
+from .commcache import CommunityCache, aggregate_deltas
 from .config import LouvainConfig
 from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
 from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignment
@@ -87,6 +88,30 @@ class _GhostChannel:
         self.neighbor = config.use_neighbor_collectives
         self._ghost: np.ndarray | None = None
         self._last_sent: np.ndarray | None = None
+        self._send_cat: np.ndarray | None = None
+        self._send_rank: np.ndarray | None = None
+
+    def send_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened ghost send plan: (owned vertex id, destination rank)
+        pairs.  Built once; shared by the delta refresh and the push
+        protocol's subscription hints (the ranks ghosting a vertex are
+        the ranks that will reference its community next round)."""
+        if self._send_cat is None:
+            items = sorted(self.plan.send_ids.items())
+            self._send_cat = (
+                np.concatenate([ids for _, ids in items])
+                if items
+                else np.empty(0, np.int64)
+            )
+            self._send_rank = (
+                np.repeat(
+                    np.array([r for r, _ in items], dtype=np.int64),
+                    [len(ids) for _, ids in items],
+                )
+                if items
+                else np.empty(0, np.int64)
+            )
+        return self._send_cat, self._send_rank
 
     def refresh(self, comm: Communicator, local_comm: np.ndarray) -> np.ndarray:
         if not self.delta or self._ghost is None:
@@ -100,17 +125,13 @@ class _GhostChannel:
             self._last_sent = local_comm.copy()
             return self._ghost
         vb = self.dg.vbegin
+        send_cat, send_rank = self.send_pairs()
         changed = local_comm != self._last_sent
-        payloads = []
-        for r in range(comm.size):
-            ids = self.plan.send_ids.get(r)
-            if ids is None:
-                payloads.append(
-                    (np.empty(0, np.int64), np.empty(0, np.int64))
-                )
-                continue
-            m = changed[ids - vb]
-            payloads.append((ids[m], local_comm[ids[m] - vb]))
+        m = changed[send_cat - vb]
+        sel = send_cat[m]
+        payloads = split_by_rank(
+            send_rank[m], comm.size, sel, local_comm[sel - vb]
+        )
         received = comm.alltoall(payloads, category="ghost_comm")
         for r, (ids, values) in enumerate(received):
             if r == comm.rank or not len(ids):
@@ -134,12 +155,21 @@ def _sweep_round(
     size_owned: np.ndarray,
     active: np.ndarray,
     config: LouvainConfig,
+    cache: CommunityCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Steps (i)-(iv) of one Louvain iteration for one active set.
 
     Returns ``(new local_comm, moved mask, ghost_comm snapshot, moves)``.
     The baseline calls this once per iteration with the full active set;
     the coloring mode (§VI) calls it once per colour class.
+
+    With ``cache`` set (``config.community_push_updates``), steps (ii)
+    and (iv) run the owner-push protocol: community info comes from the
+    subscription cache (plus a targeted fallback pull on first touch)
+    and the delta exchange fuses the owners' pushes into its reply leg —
+    one exchange per round instead of three alltoalls, with payload
+    proportional to the number of *changed* communities.  Results are
+    bit-identical to the pull protocol either way.
     """
     w = dg.total_weight
 
@@ -159,9 +189,25 @@ def _sweep_round(
         )
     else:
         needed = np.unique(local_comm[active])
-    needed_tot, needed_size = _fetch_community_info(
-        comm, dg, needed, tot_owned, size_owned
-    )
+    if cache is not None:
+        prefetch = None
+        if cache.cold:
+            # Cold start: pull every community this rank's vertices
+            # could reference (all neighbour communities and own ones,
+            # active or not) so later rounds never miss — new ids can
+            # then only arrive through hinted ghost moves.
+            prefetch = (
+                np.unique(np.concatenate([target_comm, local_comm]))
+                if len(target_comm)
+                else np.unique(local_comm)
+            )
+        needed_tot, needed_size = cache.fetch(
+            comm, needed, tot_owned, size_owned, prefetch=prefetch
+        )
+    else:
+        needed_tot, needed_size = _fetch_community_info(
+            comm, dg, needed, tot_owned, size_owned
+        )
 
     # (iii) local move computation (lines 6-9).
     res = propose_moves(
@@ -182,15 +228,33 @@ def _sweep_round(
 
     # (iv) send community updates to owner processes (lines 10-11).
     moved = res.moved
-    _apply_community_deltas(
-        comm,
-        dg,
-        old=local_comm[moved],
-        new=res.proposal[moved],
-        deg=k[moved],
-        tot_owned=tot_owned,
-        size_owned=size_owned,
-    )
+    if cache is not None:
+        # Subscription hints: every rank ghosting a moved vertex will
+        # reference its new community next round — subscribe them now,
+        # through the owner, so the info rides this exchange's push leg
+        # instead of a fallback pull next round.
+        send_cat, send_rank = ghosts.send_pairs()
+        hm = moved[send_cat - dg.vbegin]
+        cache.exchange_deltas(
+            comm,
+            old=local_comm[moved],
+            new=res.proposal[moved],
+            deg=k[moved],
+            tot_owned=tot_owned,
+            size_owned=size_owned,
+            hint_ids=res.proposal[send_cat[hm] - dg.vbegin],
+            hint_ranks=send_rank[hm],
+        )
+    else:
+        _apply_community_deltas(
+            comm,
+            dg,
+            old=local_comm[moved],
+            new=res.proposal[moved],
+            deg=k[moved],
+            tot_owned=tot_owned,
+            size_owned=size_owned,
+        )
     return res.proposal, moved, ghost_comm, res.num_moves
 
 
@@ -235,6 +299,18 @@ def louvain_phase_distributed(
     tot_owned = k.copy()
     size_owned = np.ones(nloc, dtype=np.int64)
     ghosts = _GhostChannel(dg, plan, config)
+    # Owner-push community-info protocol (perf knob; bit-identical to
+    # pull).  Per-phase lifetime: community ids live in this graph's
+    # vertex-id space.  The warm-start / resume delta applications below
+    # predate any subscription, so they can keep using the plain pull
+    # path — the cache starts cold and fills via first-touch pulls.
+    cache = (
+        CommunityCache(
+            dg, comm.size, sparse=config.use_neighbor_collectives
+        )
+        if config.community_push_updates
+        else None
+    )
 
     if initial_assignment is not None:
         # Warm start: treat the seed as a batch of moves from the
@@ -320,6 +396,7 @@ def louvain_phase_distributed(
             local_comm, round_moved, ghost_comm, n = _sweep_round(
                 comm, dg, ghosts, ctargets, rows, self_mask, k,
                 local_comm, tot_owned, size_owned, round_active, config,
+                cache=cache,
             )
             moved |= round_moved
             moves += n
@@ -433,9 +510,14 @@ def _fetch_community_info(
     paper's §V-A profile attributes ~34% of the runtime to.
     """
     vb = dg.vbegin
-    owners = np.searchsorted(dg.offsets, needed, side="right") - 1
+    owners = dg.owner_of(needed)
+    # ``needed`` is sorted, so owners is non-decreasing: one searchsorted
+    # yields the per-rank slices (no per-rank boolean masks).
+    bounds = np.searchsorted(owners, np.arange(comm.size + 1, dtype=np.int64))
     requests = [
-        needed[owners == r] if r != comm.rank else np.empty(0, np.int64)
+        needed[bounds[r]:bounds[r + 1]]
+        if r != comm.rank
+        else np.empty(0, np.int64)
         for r in range(comm.size)
     ]
     incoming = comm.alltoall(requests, category="community_comm")
@@ -480,23 +562,12 @@ def _apply_community_deltas(
     Every rank participates in the exchange even with zero moves (the
     collective is unconditional in Algorithm 3).
     """
-    ids = np.concatenate([old, new])
-    dtot = np.concatenate([-deg, deg])
-    dsize = np.concatenate(
-        [-np.ones(len(old), np.int64), np.ones(len(new), np.int64)]
+    # Pre-aggregate duplicates before communicating (shared with the
+    # push protocol so both accumulate in the same order).
+    uniq, agg_tot, agg_size = aggregate_deltas(old, new, deg)
+    outgoing = split_by_rank(
+        dg.owner_of(uniq), comm.size, uniq, agg_tot, agg_size
     )
-    # Pre-aggregate duplicates before communicating.
-    uniq, inv = np.unique(ids, return_inverse=True)
-    agg_tot = np.zeros(len(uniq))
-    agg_size = np.zeros(len(uniq), dtype=np.int64)
-    np.add.at(agg_tot, inv, dtot)
-    np.add.at(agg_size, inv, dsize)
-
-    owners = np.searchsorted(dg.offsets, uniq, side="right") - 1
-    outgoing = []
-    for r in range(comm.size):
-        m = owners == r
-        outgoing.append((uniq[m], agg_tot[m], agg_size[m]))
     received = comm.alltoall(outgoing, category="community_comm")
 
     vb = dg.vbegin

@@ -8,7 +8,10 @@ ghost-exchange machinery:
   differs on disconnected graphs);
 * :func:`distributed_degree_histogram` — global degree distribution
   (used to characterise inputs without gathering the graph anywhere);
-* :func:`distributed_total_weight` — global ``2m`` from local partials.
+* :func:`distributed_total_weight` — global ``2m`` from local partials;
+* :func:`distributed_label_counts` — global multiplicity of each label
+  a rank holds, via owner-routed partial counts (the community-size
+  query of the quality-assessment feature, §V-D).
 
 Each function is SPMD: call from every rank with that rank's
 :class:`~repro.graph.distgraph.DistGraph`.
@@ -19,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..runtime.comm import Communicator
-from .distgraph import DistGraph
+from .distgraph import DistGraph, split_by_rank
 
 
 def distributed_components(
@@ -105,3 +108,44 @@ def distributed_total_weight(comm: Communicator, dg: DistGraph) -> float:
     return float(
         comm.allreduce(float(dg.weights.sum()), category="other")
     )
+
+
+def distributed_label_counts(
+    comm: Communicator, dg: DistGraph, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global multiplicity of each distinct label this rank holds.
+
+    ``labels`` assigns one label per owned vertex, drawn from the global
+    vertex-id space (the convention of the distributed Louvain: a
+    community is owned by the rank owning the same-numbered vertex).
+    Partial counts route to the label owners, who aggregate and answer —
+    two alltoalls, the same owner-directed pattern as the community-info
+    protocol.  Returns ``(uniq, counts)``: this rank's distinct labels
+    (sorted) and their global multiplicities.
+    """
+    if len(labels) != dg.num_local:
+        raise ValueError(
+            f"labels covers {len(labels)} vertices, rank owns {dg.num_local}"
+        )
+    uniq, local_counts = np.unique(labels, return_counts=True)
+    requests = split_by_rank(
+        dg.owner_of(uniq), comm.size, uniq, local_counts
+    )
+    incoming = comm.alltoall(requests, category="other")
+
+    # Owner side: aggregate partials over a dense slot array.
+    owned = np.zeros(dg.num_local, dtype=np.int64)
+    for ids, counts in incoming:
+        if len(ids):
+            np.add.at(owned, ids - dg.vbegin, counts)
+    replies = [
+        owned[ids - dg.vbegin] if len(ids) else np.empty(0, np.int64)
+        for ids, _ in incoming
+    ]
+    answers = comm.alltoall(replies, category="other")
+
+    totals = np.zeros(len(uniq), dtype=np.int64)
+    for r, (ids, _) in enumerate(requests):
+        if len(ids):
+            totals[np.searchsorted(uniq, ids)] = answers[r]
+    return uniq, totals

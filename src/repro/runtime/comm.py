@@ -7,8 +7,9 @@ ranks run as threads, each holding a :class:`Communicator`, and talk via
 * buffered point-to-point messages (``send``/``recv``/``sendrecv``), and
 * synchronizing collectives (``barrier``, ``bcast``, ``reduce``,
   ``allreduce``, ``gather``, ``allgather``, ``scatter``, ``alltoall``,
-  ``scan``/``exscan``) plus the MPI-3-style ``neighbor_alltoall`` the
-  paper lists as future work (§VI).
+  ``scan``/``exscan``), the MPI-3-style ``neighbor_alltoall`` the
+  paper lists as future work (§VI), and the fused request/reply
+  ``exchange_roundtrip`` backing the owner-push community protocol.
 
 Every operation advances the rank's *virtual clock* according to the
 :class:`~repro.runtime.perfmodel.MachineModel` and attributes the time to
@@ -52,7 +53,7 @@ from .errors import (
     InvalidRankError,
     RankAborted,
 )
-from .payload import message_bytes
+from .payload import message_bytes, nbytes
 from .perfmodel import MachineModel
 from .tracing import RankTrace
 
@@ -579,6 +580,124 @@ class Communicator:
             if s != self.rank:
                 self.trace.record_recv(message_bytes(v))
         return out
+
+    def exchange_roundtrip(
+        self,
+        outgoing: Sequence[Any],
+        serve: Callable[[list], list],
+        category: str = "other",
+        sparse: bool = False,
+    ) -> list:
+        """Fused request/reply personalized exchange (one collective).
+
+        Rank ``i``'s ``outgoing[j]`` is delivered to rank ``j``; each
+        rank's ``serve(incoming)`` then runs exactly once with the
+        requests from every rank (``incoming[s]`` is rank ``s``'s
+        request) and must return one reply payload per rank; the call
+        returns the replies addressed to this rank (``result[j]`` is
+        rank ``j``'s reply).  ``serve`` is the *owner side* of an
+        owner-push protocol: it may mutate rank-local state (the
+        deposits travel by reference inside the simulator, and every
+        rank is blocked in the collective while the serve callbacks run
+        in rank order), which is what lets a delta-apply step and the
+        push of its consequences fuse into a single exchange instead of
+        the three alltoalls of a pull protocol.
+
+        Cost model: two back-to-back alltoallv legs (see
+        :meth:`MachineModel.exchange_leg_cost`) with a synchronisation
+        point in between — no rank can serve before its last request
+        arrives.  With ``sparse=True`` both legs are charged like
+        neighbourhood collectives: latency scales with the number of
+        non-empty partner payloads instead of ``p - 1`` (``None`` or
+        zero-byte payloads count as "no message").
+        """
+        if len(outgoing) != self.size:
+            raise ValueError(
+                f"exchange_roundtrip needs one payload per rank "
+                f"({self.size}), got {len(outgoing)}"
+            )
+        m = self.machine
+        p = self.size
+
+        def _occupied(obj: Any) -> bool:
+            return obj is not None and nbytes(obj) > 0
+
+        def _leg_cost(r: int, sent: int, recv: int, deg: int) -> float:
+            return m.exchange_leg_cost(
+                sent, recv, p, rank=r, degree=deg if sparse else None
+            )
+
+        def finalize(slots):
+            mats = [v for (v, _fn), _ in slots]
+            serves = [fn for (_v, fn), _ in slots]
+            t0 = max(c for _, c in slots)
+            # Request leg: servers reply only once every request landed.
+            req_costs = []
+            for r in range(p):
+                sent_slots = [mats[r][d] for d in range(p) if d != r]
+                recv_slots = [mats[s][r] for s in range(p) if s != r]
+                if sparse:
+                    sent_slots = [v for v in sent_slots if _occupied(v)]
+                    recv_slots = [v for v in recv_slots if _occupied(v)]
+                deg = len(sent_slots) + len(recv_slots)
+                req_costs.append(
+                    _leg_cost(
+                        r,
+                        sum(message_bytes(v) for v in sent_slots),
+                        sum(message_bytes(v) for v in recv_slots),
+                        deg,
+                    )
+                )
+            t_mid = t0 + max(req_costs)
+            # Serve in rank order: deterministic regardless of which
+            # thread happens to run the rendezvous finalizer.
+            reply_mat = []
+            for r in range(p):
+                replies = serves[r]([mats[s][r] for s in range(p)])
+                if len(replies) != p:
+                    raise ValueError(
+                        f"serve on rank {r} returned {len(replies)} "
+                        f"replies for {p} ranks"
+                    )
+                reply_mat.append(replies)
+            outs = []
+            for r in range(p):
+                received = [reply_mat[s][r] for s in range(p)]
+                sent_slots = [reply_mat[r][d] for d in range(p) if d != r]
+                recv_slots = [reply_mat[s][r] for s in range(p) if s != r]
+                if sparse:
+                    sent_slots = [v for v in sent_slots if _occupied(v)]
+                    recv_slots = [v for v in recv_slots if _occupied(v)]
+                deg = len(sent_slots) + len(recv_slots)
+                t = t_mid + _leg_cost(
+                    r,
+                    sum(message_bytes(v) for v in sent_slots),
+                    sum(message_bytes(v) for v in recv_slots),
+                    deg,
+                )
+                rep_sent = [message_bytes(v) for v in sent_slots]
+                req_recv = [
+                    message_bytes(mats[s][r])
+                    for s in range(p)
+                    if s != r and (not sparse or _occupied(mats[s][r]))
+                ]
+                outs.append(((received, rep_sent, req_recv), t))
+            return outs
+
+        received, rep_sent, req_recv = self._collective(
+            "exchange_roundtrip", (list(outgoing), serve), finalize, category
+        )
+        for d, v in enumerate(outgoing):
+            if d != self.rank and (not sparse or _occupied(v)):
+                self.trace.record_send(message_bytes(v))
+        for n in req_recv:
+            self.trace.record_recv(n)
+        for n in rep_sent:
+            self.trace.record_send(n)
+        for s, v in enumerate(received):
+            if s != self.rank and (not sparse or _occupied(v)):
+                self.trace.record_recv(message_bytes(v))
+        return received
 
     def neighbor_alltoall(
         self, payloads: dict[int, Any], category: str = "other"

@@ -36,6 +36,12 @@ def nbytes(obj: Any) -> int:
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
+        # Covers structured (record) arrays too: a packed
+        # ``(id, tot, size)`` struct-array is charged its true
+        # ``itemsize * n`` wire footprint, exactly what the equivalent
+        # C++ implementation would put in an MPI derived datatype.
+        return int(obj.nbytes)
+    if isinstance(obj, np.void):  # one record of a structured array
         return int(obj.nbytes)
     if isinstance(obj, (bool, int, float, np.integer, np.floating)):
         return SCALAR_BYTES

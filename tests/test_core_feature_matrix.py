@@ -16,7 +16,10 @@ FEATURES = [
     {"use_coloring": True},
     {"ghost_delta_updates": True},
     {"use_neighbor_collectives": True},
+    {"community_push_updates": True},
     {"use_coloring": True, "ghost_delta_updates": True},
+    {"community_push_updates": True, "use_coloring": True},
+    {"community_push_updates": True, "use_neighbor_collectives": True},
 ]
 
 

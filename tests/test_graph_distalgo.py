@@ -7,6 +7,7 @@ from repro.graph import CSRGraph, DistGraph, EdgeList, connected_components
 from repro.graph.distalgo import (
     distributed_components,
     distributed_degree_histogram,
+    distributed_label_counts,
     distributed_num_components,
     distributed_total_weight,
 )
@@ -107,3 +108,46 @@ class TestTotalWeight:
         r = run_spmd(nranks, prog, machine=FREE, timeout=30.0)
         for v in r.values:
             assert v == pytest.approx(planted_blocks.total_weight)
+
+
+class TestLabelCounts:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_global_bincount(self, planted_blocks, nranks):
+        n = planted_blocks.num_vertices
+        rng = np.random.default_rng(7)
+        labels = rng.integers(0, n, size=n)
+        expected = np.bincount(labels, minlength=n)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, planted_blocks, "even_vertex")
+            uniq, counts = distributed_label_counts(
+                comm, dg, labels[dg.vbegin : dg.vend]
+            )
+            return uniq.tolist(), counts.tolist()
+
+        r = run_spmd(nranks, prog, machine=FREE, timeout=30.0)
+        for uniq, counts in r.values:
+            assert uniq == sorted(set(uniq))
+            for lab, cnt in zip(uniq, counts):
+                assert cnt == expected[lab]
+
+    def test_length_mismatch_raises(self, planted_blocks):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, planted_blocks, "even_vertex")
+            try:
+                distributed_label_counts(
+                    comm, dg, np.zeros(dg.num_local + 1, dtype=np.int64)
+                )
+            except ValueError:
+                # Keep the collective schedule aligned across ranks.
+                return distributed_label_counts(
+                    comm,
+                    dg,
+                    np.full(dg.num_local, dg.vbegin, dtype=np.int64),
+                )[1].sum()
+            return -1
+
+        r = run_spmd(2, prog, machine=FREE, timeout=30.0)
+        # Every rank raised, then counted its own constant label.
+        for v in r.values:
+            assert v != -1

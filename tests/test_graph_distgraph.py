@@ -204,3 +204,56 @@ class TestLoadBinary:
 
         r = run_spmd(3, prog, machine=CORI_HASWELL, timeout=15.0)
         assert r.trace.seconds_by_category().get("io", 0) > 0
+
+
+class TestOwnerLookup:
+    def test_owner_of_matches_offsets(self):
+        g = ring_graph(17)
+        offsets = np.array([0, 5, 5, 11, 17])
+        dg = DistGraph.from_global(g, offsets, 0)
+        ids = np.arange(17)
+        expected = np.searchsorted(offsets, ids, side="right") - 1
+        np.testing.assert_array_equal(dg.owner_of(ids), expected)
+
+    def test_owner_of_scalar_and_boundaries(self):
+        g = ring_graph(10)
+        offsets = np.array([0, 3, 7, 10])
+        dg = DistGraph.from_global(g, offsets, 1)
+        assert dg.owner_of(0) == 0
+        assert dg.owner_of(2) == 0
+        assert dg.owner_of(3) == 1  # first vertex of rank 1's slice
+        assert dg.owner_of(6) == 1
+        assert dg.owner_of(7) == 2
+        assert dg.owner_of(9) == 2
+
+    def test_empty_rank_owns_nothing(self):
+        g = ring_graph(6)
+        offsets = np.array([0, 3, 3, 6])  # rank 1 owns no vertices
+        dg = DistGraph.from_global(g, offsets, 0)
+        owners = dg.owner_of(np.arange(6))
+        assert 1 not in owners
+
+
+class TestSplitByRank:
+    def test_buckets_and_stability(self):
+        from repro.graph.distgraph import split_by_rank
+
+        ranks = np.array([2, 0, 2, 1, 0, 2])
+        vals = np.array([10, 11, 12, 13, 14, 15])
+        aux = vals * 2.0
+        out = split_by_rank(ranks, 4, vals, aux)
+        assert len(out) == 4
+        np.testing.assert_array_equal(out[0][0], [11, 14])
+        np.testing.assert_array_equal(out[1][0], [13])
+        np.testing.assert_array_equal(out[2][0], [10, 12, 15])
+        assert len(out[3][0]) == 0
+        # Aligned arrays stay aligned.
+        for r in range(4):
+            np.testing.assert_array_equal(out[r][1], out[r][0] * 2.0)
+
+    def test_empty_input(self):
+        from repro.graph.distgraph import split_by_rank
+
+        out = split_by_rank(np.empty(0, np.int64), 3, np.empty(0, np.int64))
+        assert len(out) == 3
+        assert all(len(t[0]) == 0 for t in out)

@@ -22,6 +22,17 @@ class TestNbytes:
         assert nbytes(a) == 800
         assert nbytes(np.zeros((3, 4), dtype=np.float32)) == 48
 
+    def test_structured_array_counts_packed_bytes(self):
+        # The community-info wire format: 24 bytes per record.
+        dt = np.dtype([("id", "<i8"), ("tot", "<f8"), ("size", "<i8")])
+        assert nbytes(np.zeros(10, dtype=dt)) == 240
+        assert nbytes(np.zeros(0, dtype=dt)) == 0
+
+    def test_structured_scalar_record(self):
+        dt = np.dtype([("id", "<i8"), ("tot", "<f8")])
+        rec = np.zeros(3, dtype=dt)[0]  # np.void scalar
+        assert nbytes(rec) == 16
+
     def test_list_of_ints(self):
         assert nbytes([1, 2, 3, 4]) == 4 * SCALAR_BYTES
 
