@@ -1,0 +1,30 @@
+"""SPMD correctness analysis for the simulated-MPI codebase.
+
+Two cooperating layers:
+
+* **static** — :mod:`repro.analysis.spmdlint`, an AST linter with a
+  table-driven rule catalog (:mod:`repro.analysis.rules`) that flags
+  collective-schedule divergence, nondeterminism hazards, unmatched
+  point-to-point tags, and payload hazards before a run ever hangs;
+* **dynamic** — the debug-mode collective-schedule verifier and the
+  wait-for-graph deadlock auditor inside :mod:`repro.runtime.comm`
+  (enabled per run with ``run_spmd(..., verify_schedule=True)`` or
+  globally with ``REPRO_VERIFY_SCHEDULE=1``).
+
+CLI entry point: ``repro-louvain lint src/repro``.  Rule catalog and
+rationale: ``docs/ANALYSIS.md``.
+"""
+
+from .rules import RULES, SEVERITIES, SEVERITY_ORDER, Rule, rule
+from .spmdlint import Finding, LintResult, lint_paths
+
+__all__ = [
+    "RULES",
+    "SEVERITIES",
+    "SEVERITY_ORDER",
+    "Rule",
+    "rule",
+    "Finding",
+    "LintResult",
+    "lint_paths",
+]

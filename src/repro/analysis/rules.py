@@ -1,0 +1,611 @@
+"""spmdlint rule catalog: table-driven SPMD correctness checks.
+
+Every rule is a small checker function registered through the
+:func:`rule` decorator; the engine (:mod:`repro.analysis.spmdlint`)
+builds the per-function analysis context (communicator parameters,
+rank-variance taint, replication taint, collective call sites) and hands
+it to each checker.  Adding a rule is ~20 lines: write a generator that
+yields ``(ast_node, message)`` pairs and decorate it.
+
+Rule identifiers are grouped by family:
+
+* ``SPMD0xx`` — collective-schedule safety (divergence, skipped
+  collectives, tag matching);
+* ``SPMD1xx`` — determinism (unordered iteration, unseeded RNG,
+  ``id()``-derived ordering);
+* ``SPMD2xx`` — payload hygiene (objects the payload model cannot
+  size deterministically).
+
+The full catalog with rationale lives in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+#: Severity levels, least to most severe.
+SEVERITIES = ("info", "warning", "error")
+SEVERITY_ORDER = {name: i for i, name in enumerate(SEVERITIES)}
+
+#: Methods on a communicator object that are synchronizing collectives:
+#: every rank must call them, in the same order (``runtime/comm.py``).
+COLLECTIVE_METHODS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "scan",
+        "exscan",
+        "neighbor_alltoall",
+        "exchange_roundtrip",
+        "split",
+    }
+)
+
+#: Library functions/methods documented as *collective* (they contain
+#: collectives internally, so skipping them on a subset of ranks is the
+#: same bug as skipping a bare collective).  Extend freely.
+COLLECTIVE_HELPERS = frozenset(
+    {
+        "remote_lookup",
+        "exchange_ghost_values",
+        "build_ghost_plan",
+        "rebuild_distributed",
+        "distributed_coloring",
+        "verify_coloring",
+        "distributed_components",
+        "distributed_num_components",
+        "distributed_degree_histogram",
+        "distributed_total_weight",
+        "distributed_label_counts",
+        "merge_global",
+        "audit_community_info",
+        "audit_partition",
+        "audit_ghost_coherence",
+        "distributed_louvain",
+        "louvain_phase_distributed",
+        "incremental_louvain",
+        "split_communicator",
+        "load_latest",
+        "exchange_deltas",
+        "_fetch_community_info",
+        "_apply_community_deltas",
+        "_pull_and_subscribe",
+    }
+)
+
+#: Collectives whose result is *replicated* on every rank, so names
+#: assigned from them are safe to branch on in SPMD code.
+REPLICATING_METHODS = frozenset({"allreduce", "bcast", "allgather"})
+
+#: Point-to-point send-side / receive-side call names (tag matching).
+SEND_METHODS = frozenset({"send", "isend"})
+RECV_METHODS = frozenset({"recv", "irecv"})
+
+#: Attributes whose value differs per rank by definition.
+RANK_ATTRIBUTES = frozenset({"rank", "world_rank"})
+
+#: Calls returning per-rank data (ownership lookups).
+RANK_CALLS = frozenset({"owner_of", "owner"})
+
+#: ``random``-module functions that draw from an unseeded global state.
+UNSEEDED_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+    }
+)
+
+#: Payload shapes the wire-size model cannot charge deterministically
+#: (see ``runtime/payload.py``): sets have no stable iteration order,
+#: generators are consumed by the size estimate itself.
+HAZARDOUS_PAYLOAD_CALLS = frozenset({"set", "frozenset", "iter"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    severity: str
+    summary: str
+    scope: str  # "function" | "module" | "program"
+    check: Callable[..., Iterator[tuple[ast.AST, str]]]
+
+
+#: Registry, populated by the :func:`rule` decorator at import time.
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: str, summary: str, scope: str = "function"):
+    """Register a checker under ``rule_id`` (table-driven extension point)."""
+    if severity not in SEVERITY_ORDER:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def deco(fn):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(
+            id=rule_id, severity=severity, summary=summary, scope=scope,
+            check=fn,
+        )
+        return fn
+
+    return deco
+
+
+# ----------------------------------------------------------------------
+# Shared AST predicates (pure functions over nodes; contexts supply the
+# taint sets)
+# ----------------------------------------------------------------------
+_NESTED_SCOPES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Lambda,
+)
+
+
+def walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s children without entering nested function/class
+    definitions (the caller is responsible for ``node`` itself)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _NESTED_SCOPES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def walk_stmt_subtree(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """``stmt`` plus its descendants, staying inside the current scope."""
+    if isinstance(stmt, _NESTED_SCOPES):
+        return
+    yield stmt
+    yield from walk_no_nested(stmt)
+
+
+def _callable_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def collective_op(node: ast.AST, fn) -> str | None:
+    """Op name if ``node`` is a collective call in function context ``fn``.
+
+    Two forms count: a :data:`COLLECTIVE_METHODS` method on a
+    communicator receiver, and a call to a :data:`COLLECTIVE_HELPERS`
+    name that receives the communicator as an argument.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in COLLECTIVE_METHODS:
+        recv = func.value
+        if isinstance(recv, ast.Name) and recv.id in fn.comm_names:
+            return func.attr
+        if (
+            isinstance(recv, ast.Attribute)
+            and recv.attr in fn.comm_names
+        ):  # self.comm / ctx.comm
+            return func.attr
+    name = _callable_name(func)
+    if name in COLLECTIVE_HELPERS:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in fn.comm_names:
+                return name
+        # Method form (obj.remote_lookup(...)) or comm passed indirectly.
+        if isinstance(func, ast.Attribute):
+            return name
+    return None
+
+
+def is_rank_variant(node: ast.AST, fn) -> bool:
+    """True if the expression's value can differ across ranks *because it
+    is derived from the rank id* (``comm.rank``, ``owner_of``, or a name
+    tainted by them)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in RANK_ATTRIBUTES:
+            return True
+        if isinstance(sub, ast.Call):
+            name = _callable_name(sub.func)
+            if name in RANK_CALLS:
+                return True
+        if isinstance(sub, ast.Name) and sub.id in fn.rank_tainted:
+            return True
+    return False
+
+
+def is_replicated_safe(node: ast.AST, fn) -> bool:
+    """Conservatively true when every rank must see the same value:
+    the expression contains a replicating collective call, or all its
+    name leaves are known replicated."""
+    for sub in ast.walk(node):
+        if collective_op(sub, fn) in REPLICATING_METHODS:
+            return True
+    names = [s for s in ast.walk(node) if isinstance(s, ast.Name)]
+    if not names:
+        return False
+    return all(n.id in fn.replicated for n in names)
+
+
+def collect_collective_counts(stmts: Iterable[ast.stmt], fn) -> Counter:
+    """Multiset of collective op names in a statement list (no nested defs)."""
+    counts: Counter = Counter()
+    for stmt in stmts:
+        for sub in walk_stmt_subtree(stmt):
+            op = collective_op(sub, fn)
+            if op is not None:
+                counts[op] += 1
+    return counts
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _callable_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def _iteration_targets(fn) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """(loop/comprehension node, iterated expression) pairs."""
+    for node in walk_no_nested(fn.node):
+        if isinstance(node, ast.For):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield node, gen.iter
+
+
+# ----------------------------------------------------------------------
+# SPMD0xx — collective schedule safety
+# ----------------------------------------------------------------------
+@rule(
+    "SPMD001",
+    "error",
+    "collective under rank-dependent control flow without a matching "
+    "call on the other path",
+)
+def check_divergent_collective(fn) -> Iterator[tuple[ast.AST, str]]:
+    for node in walk_no_nested(fn.node):
+        if isinstance(node, ast.If) and is_rank_variant(node.test, fn):
+            body = collect_collective_counts(node.body, fn)
+            other = collect_collective_counts(node.orelse, fn)
+            if body != other:
+                missing = (body - other) + (other - body)
+                ops = ", ".join(sorted(missing))
+                yield node, (
+                    f"collective(s) {ops} reachable only under a "
+                    "rank-dependent condition; ranks taking the other "
+                    "branch will not make the matching call (real MPI: "
+                    "deadlock or corrupted collective)"
+                )
+        elif isinstance(node, (ast.For, ast.While)):
+            header = node.iter if isinstance(node, ast.For) else node.test
+            if is_rank_variant(header, fn):
+                body = collect_collective_counts(node.body, fn)
+                if body:
+                    ops = ", ".join(sorted(body))
+                    yield node, (
+                        f"collective(s) {ops} inside a loop whose trip "
+                        "count is rank-dependent; ranks will call them "
+                        "a different number of times"
+                    )
+
+
+@rule(
+    "SPMD002",
+    "warning",
+    "conditional early return may skip collectives on a subset of ranks",
+)
+def check_conditional_return(fn) -> Iterator[tuple[ast.AST, str]]:
+    coll_lines = sorted(
+        node.lineno
+        for node in walk_no_nested(fn.node)
+        if collective_op(node, fn) is not None
+    )
+    if not coll_lines:
+        return
+    for node in walk_no_nested(fn.node):
+        if not isinstance(node, ast.If):
+            continue
+        if is_replicated_safe(node.test, fn):
+            continue
+        for branch in (node.body, node.orelse):
+            for stmt in branch:
+                for sub in walk_stmt_subtree(stmt):
+                    if isinstance(sub, ast.Return) and any(
+                        line > sub.lineno for line in coll_lines
+                    ):
+                        yield sub, (
+                            "return under a condition not proven "
+                            "replicated skips later collective call(s) "
+                            f"(next at line {min(ln for ln in coll_lines if ln > sub.lineno)}); "
+                            "if the condition is rank-local, ranks "
+                            "diverge — make the decision collective "
+                            "(e.g. allreduce a flag) or suppress with "
+                            "a justification"
+                        )
+
+
+@rule(
+    "SPMD003",
+    "warning",
+    "send/recv tag literal with no matching peer call",
+    scope="program",
+)
+def check_tag_matching(program) -> Iterator[tuple[ast.AST, str]]:
+    sends: list[tuple[object, ast.AST, int]] = []
+    recvs: list[tuple[object, ast.AST, int]] = []
+
+    def literal_tag(call: ast.Call, kw_names: tuple[str, ...], pos: int):
+        for kw in call.keywords:
+            if kw.arg in kw_names and isinstance(kw.value, ast.Constant):
+                if isinstance(kw.value.value, int):
+                    return kw.value.value
+        if len(call.args) > pos and isinstance(call.args[pos], ast.Constant):
+            v = call.args[pos].value
+            if isinstance(v, int):
+                return v
+        return None
+
+    for module in program.modules:
+        for fn in module.functions:
+            if not fn.is_spmd:
+                continue
+            for node in walk_no_nested(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _callable_name(node.func)
+                if name in SEND_METHODS:
+                    tag = literal_tag(node, ("tag",), 2)
+                    if tag is not None:
+                        sends.append((module, node, tag))
+                elif name in RECV_METHODS:
+                    tag = literal_tag(node, ("tag",), 1)
+                    if tag is not None:
+                        recvs.append((module, node, tag))
+                elif name == "sendrecv":
+                    stag = literal_tag(node, ("sendtag",), 3)
+                    rtag = literal_tag(node, ("recvtag",), 4)
+                    if stag is not None:
+                        sends.append((module, node, stag))
+                    if rtag is not None:
+                        recvs.append((module, node, rtag))
+
+    send_tags = {t for _, _, t in sends}
+    recv_tags = {t for _, _, t in recvs}
+    for module, node, tag in sends:
+        if tag not in recv_tags:
+            yield module, node, (
+                f"send with tag {tag} has no recv using that tag "
+                "anywhere in the linted code — the message can never "
+                "be matched (receiver times out)"
+            )
+    for module, node, tag in recvs:
+        if tag not in send_tags:
+            yield module, node, (
+                f"recv with tag {tag} has no send using that tag "
+                "anywhere in the linted code — the receive blocks "
+                "until the deadlock timeout"
+            )
+
+
+# ----------------------------------------------------------------------
+# SPMD1xx — determinism
+# ----------------------------------------------------------------------
+@rule(
+    "SPMD101",
+    "error",
+    "iteration over a set has no deterministic order",
+)
+def check_set_iteration(fn) -> Iterator[tuple[ast.AST, str]]:
+    for node, it in _iteration_targets(fn):
+        if _is_set_expression(it):
+            yield node, (
+                "iterating a set/frozenset: element order is not "
+                "deterministic across processes; wrap in sorted(...) "
+                "(membership tests on sets are fine)"
+            )
+
+
+@rule(
+    "SPMD102",
+    "error",
+    "unseeded random number generator in SPMD code",
+    scope="module",
+)
+def check_unseeded_rng(module) -> Iterator[tuple[ast.AST, str]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # np.random.default_rng() with no seed argument.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield node, (
+                "np.random.default_rng() without a seed draws OS "
+                "entropy — results differ between runs and ranks; "
+                "pass a seed (see core.heuristics.make_rank_rng)"
+            )
+        # Legacy numpy global-state API (np.random.rand etc.).
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.attr not in ("default_rng", "SeedSequence", "Generator")
+        ):
+            yield node, (
+                f"np.random.{func.attr} uses the unseeded global "
+                "RandomState; use a seeded np.random.default_rng(seed)"
+            )
+        # Stdlib random module-level functions (shared hidden state).
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr in UNSEEDED_RANDOM_FUNCS
+        ):
+            yield node, (
+                f"random.{func.attr} draws from the process-global "
+                "generator; use random.Random(seed) or a seeded numpy "
+                "Generator"
+            )
+
+
+@rule(
+    "SPMD103",
+    "error",
+    "ordering or keying derived from id() is address-dependent",
+    scope="module",
+)
+def check_id_ordering(module) -> Iterator[tuple[ast.AST, str]]:
+    def uses_id(expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id == "id":
+                return True
+        return False
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = _callable_name(node.func)
+            if name in ("sorted", "min", "max", "sort"):
+                for kw in node.keywords:
+                    if kw.arg == "key" and uses_id(kw.value):
+                        yield node, (
+                            "sort key derived from id(): CPython object "
+                            "addresses vary run to run, so the order is "
+                            "not reproducible"
+                        )
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None and isinstance(key, ast.Call) and \
+                        _callable_name(key.func) == "id":
+                    yield node, (
+                        "dict keyed by id(): the keying (and any "
+                        "iteration over it) is address-dependent and "
+                        "not reproducible"
+                    )
+
+
+@rule(
+    "SPMD104",
+    "info",
+    "dict-ordered iteration in SPMD code (order is insertion order — "
+    "verify it is rank-invariant, or iterate sorted(...))",
+)
+def check_dict_iteration(fn) -> Iterator[tuple[ast.AST, str]]:
+    for node, it in _iteration_targets(fn):
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in ("items", "keys", "values")
+            and not it.args
+        ):
+            yield node, (
+                f"iteration over .{it.func.attr}() follows dict "
+                "insertion order; if ranks populate the dict in "
+                "different orders and the loop feeds a payload or "
+                "accumulation, results diverge — iterate "
+                "sorted(...) to pin the order"
+            )
+
+
+# ----------------------------------------------------------------------
+# SPMD2xx — payload hygiene
+# ----------------------------------------------------------------------
+#: Comm calls whose first argument is the outgoing payload.
+PAYLOAD_ARG0_METHODS = frozenset(
+    {
+        "send",
+        "isend",
+        "sendrecv",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "scan",
+        "exscan",
+        "neighbor_alltoall",
+        "exchange_roundtrip",
+    }
+)
+
+
+@rule(
+    "SPMD201",
+    "error",
+    "communication payload has no registered deterministic wire size",
+)
+def check_payload_hazard(fn) -> Iterator[tuple[ast.AST, str]]:
+    for node in walk_no_nested(fn.node):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in PAYLOAD_ARG0_METHODS
+            and (
+                (isinstance(func.value, ast.Name)
+                 and func.value.id in fn.comm_names)
+                or (isinstance(func.value, ast.Attribute)
+                    and func.value.attr in fn.comm_names)
+            )
+        ):
+            continue
+        payload = node.args[0]
+        if isinstance(payload, (ast.Set, ast.SetComp)) or (
+            isinstance(payload, ast.Call)
+            and _callable_name(payload.func) in HAZARDOUS_PAYLOAD_CALLS
+        ):
+            yield payload, (
+                "sending a set: iteration order (and therefore the "
+                "packed wire image) is nondeterministic; send a sorted "
+                "array/list, or register a sizer via "
+                "runtime.payload.register_payload_type"
+            )
+        elif isinstance(payload, ast.GeneratorExp):
+            yield payload, (
+                "sending a generator: the payload size estimate "
+                "consumes it and the receiver sees an exhausted "
+                "iterator; materialise a list/array first"
+            )

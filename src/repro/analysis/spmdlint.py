@@ -1,0 +1,311 @@
+"""spmdlint engine: AST analysis contexts, rule driver, and reporting.
+
+The engine parses every ``.py`` file under the requested paths, builds a
+:class:`ModuleContext` (suppression map, function contexts with
+communicator/rank/replication taint), and runs the registered rules from
+:mod:`repro.analysis.rules` at their declared scope:
+
+* ``function`` rules run once per SPMD function (a function that takes a
+  communicator parameter);
+* ``module`` rules run once per module;
+* ``program`` rules run once over all modules (cross-module matching,
+  e.g. send/recv tags).
+
+Findings can be silenced with a trailing comment on the offending line::
+
+    if comm.rank == 0:
+        comm.bcast(x, root=0)  # spmdlint: ignore[SPMD001] -- reason
+
+or for a whole file with ``# spmdlint: skip-file`` in the first ten
+lines.  Suppressions should carry a justification; they are for
+invariants the analysis cannot see, not for bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .rules import (
+    REPLICATING_METHODS,
+    RULES,
+    SEVERITY_ORDER,
+    Rule,
+    collective_op,
+    is_rank_variant,
+    walk_no_nested,
+)
+
+#: Parameter names assumed to be communicators even without annotation.
+COMM_PARAM_NAMES = frozenset({"comm", "subcomm", "world_comm", "local_comm"})
+
+_SUPPRESS_RE = re.compile(r"#\s*spmdlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*spmdlint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ready for text or JSON output."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "message": self.message,
+        }
+
+
+class FunctionContext:
+    """Analysis context for one function definition."""
+
+    def __init__(self, module: "ModuleContext", node: ast.FunctionDef):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.comm_names = self._find_comm_params(node)
+        self.is_spmd = bool(self.comm_names)
+        self.rank_tainted: set[str] = set()
+        self.replicated: set[str] = set()
+        if self.is_spmd:
+            self._build_taint()
+
+    @staticmethod
+    def _find_comm_params(node: ast.FunctionDef) -> frozenset[str]:
+        names = set()
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = arg.annotation
+            ann_text = ast.unparse(ann) if ann is not None else ""
+            if arg.arg in COMM_PARAM_NAMES or "Communicator" in ann_text:
+                names.add(arg.arg)
+        return frozenset(names)
+
+    def _assignments(self) -> Iterator[tuple[list[ast.expr], ast.expr]]:
+        for node in walk_no_nested(self.node):
+            if isinstance(node, ast.Assign):
+                yield node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                yield [node.target], node.value
+            elif isinstance(node, (ast.NamedExpr,)):
+                yield [node.target], node.value
+
+    def _build_taint(self) -> None:
+        # Two fixed-point passes give one level of transitivity each,
+        # which covers the assignment chains that occur in practice.
+        for _ in range(2):
+            for targets, value in self._assignments():
+                names = [
+                    t.id for t in targets if isinstance(t, ast.Name)
+                ]
+                if not names:
+                    continue
+                if is_rank_variant(value, self):
+                    self.rank_tainted.update(names)
+                elif self._is_replicating_value(value):
+                    self.replicated.update(names)
+
+    def _is_replicating_value(self, value: ast.expr) -> bool:
+        for sub in ast.walk(value):
+            if collective_op(sub, self) in REPLICATING_METHODS:
+                return True
+        names = [s for s in ast.walk(value) if isinstance(s, ast.Name)]
+        return bool(names) and all(n.id in self.replicated for n in names)
+
+
+class ModuleContext:
+    """Parsed module plus suppression map and function contexts."""
+
+    def __init__(self, path: Path, source: str, display_path: str):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.functions = [
+            FunctionContext(self, node)
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.FunctionDef)
+        ]
+        self.suppressions: dict[int, frozenset[str] | None] = {}
+        self.skip_file = False
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            if lineno <= 10 and _SKIP_FILE_RE.search(line):
+                self.skip_file = True
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                ids = m.group(1)
+                self.suppressions[lineno] = (
+                    frozenset(s.strip() for s in ids.split(","))
+                    if ids
+                    else None  # bare ignore: all rules
+                )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if self.skip_file:
+            return True
+        ids = self.suppressions.get(line, frozenset())
+        if ids is None:
+            return True
+        return rule_id in ids
+
+
+class ProgramContext:
+    """All modules of one lint run (for cross-module rules)."""
+
+    def __init__(self, modules: Sequence[ModuleContext]):
+        self.modules = list(modules)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" not in f.parts:
+                    yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def _selected_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[Rule]:
+    unknown = [
+        r for r in list(select or []) + list(ignore or []) if r not in RULES
+    ]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    rules = [RULES[r] for r in select] if select else list(RULES.values())
+    if ignore:
+        rules = [r for r in rules if r.id not in set(ignore)]
+    return rules
+
+
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping from one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    def count_at_least(self, severity: str) -> int:
+        floor = SEVERITY_ORDER[severity]
+        return sum(
+            1 for f in self.findings if SEVERITY_ORDER[f.severity] >= floor
+        )
+
+    def to_json(self) -> str:
+        by_sev: dict[str, int] = {}
+        for f in self.findings:
+            by_sev[f.severity] = by_sev.get(f.severity, 0) + 1
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "summary": {
+                    "files_checked": self.files_checked,
+                    "total": len(self.findings),
+                    "by_severity": by_sev,
+                    "parse_errors": self.parse_errors,
+                },
+            },
+            indent=2,
+        )
+
+    def format_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        for err in self.parse_errors:
+            lines.append(f"parse error: {err}")
+        noun = "file" if self.files_checked == 1 else "files"
+        lines.append(
+            f"{len(self.findings)} finding(s) in "
+            f"{self.files_checked} {noun}"
+        )
+        return "\n".join(lines)
+
+
+def _emit(
+    result: LintResult,
+    module: ModuleContext,
+    rule: Rule,
+    node: ast.AST,
+    message: str,
+) -> None:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    if module.is_suppressed(rule.id, line):
+        return
+    result.findings.append(
+        Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=module.display_path,
+            line=line,
+            col=col,
+            message=message,
+        )
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Run the registered rules over ``paths`` (files or directories)."""
+    rules = _selected_rules(select, ignore)
+    result = LintResult()
+    modules: list[ModuleContext] = []
+    for path in _iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleContext(path, source, display_path=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.parse_errors.append(f"{path}: {exc}")
+            continue
+        modules.append(module)
+        result.files_checked += 1
+
+    program = ProgramContext(modules)
+    for rule in rules:
+        if rule.scope == "program":
+            for module, node, message in rule.check(program):
+                _emit(result, module, rule, node, message)
+            continue
+        for module in modules:
+            if rule.scope == "module":
+                for node, message in rule.check(module):
+                    _emit(result, module, rule, node, message)
+            else:  # function scope: SPMD functions only
+                for fn in module.functions:
+                    if not fn.is_spmd:
+                        continue
+                    for node, message in rule.check(fn):
+                        _emit(result, module, rule, node, message)
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -9,13 +9,15 @@
                            --out communities.txt --checkpoint-dir ckpts/
     repro-louvain ckpt     validate ckpts/
     repro-louvain compare  communities.txt ground_truth.txt
+    repro-louvain lint     src/repro --fail-on error
 
 ``generate`` produces the synthetic stand-ins from the dataset registry,
 ``convert`` runs the paper's native-format-to-binary step, ``detect``
 does the distributed ingest + Louvain run (optionally writing resilience
 checkpoints, or resuming from them with ``--resume``), ``ckpt``
 inspects/validates a checkpoint directory, ``compare`` scores a result
-against ground truth with the §V-D metrics.
+against ground truth with the §V-D metrics, ``lint`` runs the spmdlint
+SPMD correctness analysis (see ``docs/ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -101,6 +103,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_.add_argument("detected", help="'vertex community' text file")
     cmp_.add_argument("truth", help="'vertex community' text file")
+
+    lint = sub.add_parser(
+        "lint", help="static SPMD correctness analysis (spmdlint)"
+    )
+    lint.add_argument(
+        "paths", nargs="+", help="files or directories to analyse"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error", "never"),
+        default="warning",
+        help="exit nonzero if any finding is at least this severe "
+             "(default warning)",
+    )
+    lint.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -260,6 +292,39 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import RULES, SEVERITY_ORDER, lint_paths
+
+    if args.list_rules:
+        for r in RULES.values():
+            print(f"{r.id}  [{r.severity:7s}]  {r.summary}")
+        return 0
+    def split(spec: str) -> list[str]:
+        return [x.strip() for x in spec.split(",") if x.strip()]
+
+    try:
+        result = lint_paths(
+            args.paths,
+            select=split(args.select) if args.select else None,
+            ignore=split(args.ignore) if args.ignore else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_json() if args.format == "json" else result.format_text())
+    if result.parse_errors:
+        return 2
+    if args.fail_on == "never":
+        return 0
+    threshold = SEVERITY_ORDER[args.fail_on]
+    gating = sum(
+        1
+        for f in result.findings
+        if SEVERITY_ORDER[f.severity] >= threshold
+    )
+    return 1 if gating else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "convert": _cmd_convert,
@@ -267,6 +332,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "ckpt": _cmd_ckpt,
     "compare": _cmd_compare,
+    "lint": _cmd_lint,
 }
 
 

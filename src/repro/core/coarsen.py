@@ -196,7 +196,9 @@ def rebuild_distributed(
         comm, dg.offsets, used, lookup_owned, category="rebuild"
     )
     used_sorted = used  # sorted by np.unique
-    translate = lambda ids: new_of_used[np.searchsorted(used_sorted, ids)]
+
+    def translate(ids: np.ndarray) -> np.ndarray:
+        return new_of_used[np.searchsorted(used_sorted, ids)]
 
     local_new = translate(local_comm)
     ghost_new = translate(ghost_comm) if len(ghost_comm) else ghost_comm

@@ -123,7 +123,10 @@ class _GhostChannel:
                 use_neighbor_collectives=self.neighbor,
             )
             self._last_sent = local_comm.copy()
-            return self._ghost
+            # The delta flag is config (replicated) and the first-call
+            # full refresh happens on the same round everywhere, so the
+            # branch is taken in lockstep.
+            return self._ghost  # spmdlint: ignore[SPMD002]
         vb = self.dg.vbegin
         send_cat, send_rank = self.send_pairs()
         changed = local_comm != self._last_sent
@@ -590,7 +593,9 @@ def _exact_modularity(
     """
     w = dg.total_weight
     if w <= 0:
-        return 0.0
+        # total_weight is replicated at distribution time, so every rank
+        # agrees on this exit.
+        return 0.0  # spmdlint: ignore[SPMD002]
     partial = np.array(
         [float(dg.local_self_loops().sum()),
          float(np.square(dg.local_degrees()).sum())]
@@ -612,7 +617,12 @@ def _load_restored_state(comm: Communicator, manager):
     attached = getattr(comm, "restored", None)
     if attached is not None:
         attached.consumed = True
-        return unpack_rank_state(comm.rank, attached.meta, attached.arrays)
+        # run_spmd(restore_from=...) attaches restored state to every
+        # rank's communicator or to none, so all ranks exit here
+        # together.
+        return unpack_rank_state(  # spmdlint: ignore[SPMD002]
+            comm.rank, attached.meta, attached.arrays
+        )
     if manager is None:
         raise ValueError(
             "resume=True requires checkpoint_dir= or a world restored "
@@ -952,7 +962,8 @@ def run_louvain(
 
     def main(comm: Communicator) -> LouvainResult:
         if resume:
-            return distributed_louvain(
+            # resume is a driver argument, identical on every rank.
+            return distributed_louvain(  # spmdlint: ignore[SPMD002]
                 comm,
                 None,
                 config,

@@ -154,8 +154,17 @@ def audit_ghost_coherence(
     """Every ghost copy must equal the owner's current value."""
     report = AuditReport()
     plan = dg.build_ghost_plan(comm)
-    if len(ghost_comm) != plan.num_ghosts:
-        report.record(False, f"rank {comm.rank}: ghost array misaligned")
+    # The alignment check must be decided collectively: an early return
+    # taken by the misaligned rank alone would skip the remote_lookup
+    # collectives the healthy ranks are about to enter (schedule
+    # divergence -> deadlock on real MPI).
+    misaligned = len(ghost_comm) != plan.num_ghosts
+    if comm.allreduce(misaligned, op="lor", category="other"):
+        report.record(
+            not misaligned,
+            f"rank {comm.rank}: ghost array misaligned "
+            f"({len(ghost_comm)} entries for {plan.num_ghosts} ghosts)",
+        )
         return report.merge_global(comm)
     vb = dg.vbegin
     truth = remote_lookup(

@@ -184,7 +184,10 @@ class DistGraph:
         alltoall), establishing both halves of the plan.
         """
         if self._plan is not None:
-            return self._plan
+            # The plan is memoised in the same phase on every rank
+            # (built right after distribution, invalidated together at
+            # coarsening): all ranks hit the cache, or none do.
+            return self._plan  # spmdlint: ignore[SPMD002]
         mine = (self.edges >= self.vbegin) & (self.edges < self.vend)
         ghosts = np.unique(self.edges[~mine])
         owners = self.owner_of(ghosts)
@@ -246,7 +249,7 @@ class DistGraph:
         if use_neighbor_collectives:
             payload = {
                 r: local_values[ids - self.vbegin]
-                for r, ids in plan.send_ids.items()
+                for r, ids in sorted(plan.send_ids.items())
             }
             got = comm.neighbor_alltoall(payload, category=category)
         else:
@@ -262,7 +265,7 @@ class DistGraph:
                 for r in plan.recv_ids
             }
         out = np.empty(plan.num_ghosts, dtype=local_values.dtype)
-        for r, ids in plan.recv_ids.items():
+        for r, ids in sorted(plan.recv_ids.items()):
             values = got.get(r)
             if values is None or len(values) != len(ids):
                 raise ValueError(

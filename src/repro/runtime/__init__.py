@@ -9,8 +9,10 @@ substitution rationale).
 from .comm import (
     Communicator,
     Request,
+    ScheduleRecorder,
     SubCommunicator,
     World,
+    payload_kind,
     split_communicator,
     wait_all,
 )
@@ -24,7 +26,12 @@ from .errors import (
     RuntimeSimError,
 )
 from .executor import SPMDResult, run_spmd
-from .payload import message_bytes, nbytes
+from .payload import (
+    message_bytes,
+    nbytes,
+    register_payload_type,
+    registered_payload_types,
+)
 from .perfmodel import (
     CORI_HASWELL,
     CORI_HASWELL_SHARED,
@@ -56,11 +63,15 @@ __all__ = [
     "Request",
     "RuntimeSimError",
     "SPMDResult",
+    "ScheduleRecorder",
     "SubCommunicator",
     "TraceReport",
     "World",
     "message_bytes",
     "nbytes",
+    "payload_kind",
+    "register_payload_type",
+    "registered_payload_types",
     "run_spmd",
     "split_communicator",
     "wait_all",

@@ -37,10 +37,22 @@ first consults it.  The plan may raise
 return ``("delay", seconds)`` to add virtual latency, ``("drop",)`` to
 silently discard a point-to-point send (the receiver eventually times
 out, as with a real lost message), or ``None`` for no action.
+
+Debug-mode dynamic verification (``REPRO_VERIFY_SCHEDULE=1`` or
+``World(verify_schedule=True)``): every rank additionally records a
+rolling hash of its (op name, payload kind) collective sequence, and
+each rendezvous cross-checks the hashes as ranks arrive, so a divergent
+schedule is localized to the *first* mismatched op (by op index and
+rank) instead of whatever op happens to explode later.  Independent of
+that flag, every :class:`~repro.runtime.errors.CommTimeoutError` carries
+a wait-for-graph *deadlock audit* naming each blocked rank, the op it is
+stuck in, and any wait cycle.  The static half of this tooling is
+:mod:`repro.analysis` (``repro-louvain lint``).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import defaultdict, deque
 from typing import Any, Callable, Iterable, Sequence
@@ -86,6 +98,123 @@ def _fold(values: Sequence[Any], op: Callable[[Any, Any], Any]) -> Any:
     return acc
 
 
+# ----------------------------------------------------------------------
+# Debug-mode collective-schedule verification
+# ----------------------------------------------------------------------
+#: FNV-1a offset basis — seed of every rank's rolling schedule hash.
+_SCHEDULE_SEED = 0xCBF29CE484222325
+
+
+def _schedule_hash(prev: int, sig: str) -> int:
+    """Fold one op signature into an FNV-1a-style rolling hash."""
+    h = prev
+    for b in sig.encode():
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+#: Collectives whose deposits must have rank-identical payload kinds.
+#: Rooted ops (bcast/scatter) are excluded: non-root ranks legitimately
+#: deposit ``None``.
+_DTYPE_CHECKED = frozenset(
+    {
+        "barrier",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "alltoall",
+        "scan",
+        "exscan",
+        "neighbor_alltoall",
+        "exchange_roundtrip",
+    }
+)
+
+
+def payload_kind(obj: Any) -> str:
+    """Shallow type/dtype descriptor of a collective deposit.
+
+    Deliberately shallow: container *contents* may legitimately differ
+    across ranks (e.g. per-rank failure lists in an allgather), but the
+    top-level kind — and an ndarray's dtype — must agree, which is
+    exactly the class of silent divergence real MPI datatypes enforce.
+    """
+    if obj is None:
+        return "none"
+    if isinstance(obj, np.ndarray):
+        return f"ndarray[{obj.dtype}]"
+    if isinstance(obj, (bool, np.bool_)):
+        return "bool"
+    if isinstance(obj, (int, np.integer)):
+        return "int"
+    if isinstance(obj, (float, np.floating)):
+        return "float"
+    if isinstance(obj, (str, bytes, dict, tuple, list)):
+        return type(obj).__name__
+    return type(obj).__name__
+
+
+class ScheduleRecorder:
+    """One rank's collective schedule as a rolling hash plus op log.
+
+    The hash makes comparison O(1) per op; the log exists only to
+    localize a divergence to its first mismatched entry once the hashes
+    disagree.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.count = 0
+        self.rolling = _SCHEDULE_SEED
+        self.log: list[str] = []
+
+    def record(self, op_name: str, kind: str) -> None:
+        sig = f"{op_name}|{kind}" if kind else op_name
+        self.count += 1
+        self.rolling = _schedule_hash(self.rolling, sig)
+        self.log.append(sig)
+
+
+def _first_divergence(a: list[str], b: list[str]) -> tuple[int, str, str]:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i, x, y
+    i = min(len(a), len(b))
+    return (
+        i,
+        a[i] if i < len(a) else "<nothing>",
+        b[i] if i < len(b) else "<nothing>",
+    )
+
+
+def _find_wait_cycle(edges: dict[int, set[int]]) -> list[int] | None:
+    """First cycle in a wait-for graph (smallest-rank-first DFS)."""
+    visited: set[int] = set()
+
+    def dfs(node: int, path: list[int], pos: dict[int, int]):
+        if node in pos:
+            return path[pos[node]:] + [node]
+        if node in visited or node not in edges:
+            return None
+        visited.add(node)
+        pos[node] = len(path)
+        path.append(node)
+        for nxt in sorted(edges[node]):
+            found = dfs(nxt, path, pos)
+            if found is not None:
+                return found
+        path.pop()
+        del pos[node]
+        return None
+
+    for start in sorted(edges):
+        found = dfs(start, [], {})
+        if found is not None:
+            return found
+    return None
+
+
 class _Rendezvous:
     """Reusable all-ranks rendezvous used to implement collectives.
 
@@ -96,9 +225,16 @@ class _Rendezvous:
     the next collective cannot clobber a slow rank's pending result.
     """
 
-    def __init__(self, size: int, world: "World"):
+    def __init__(
+        self,
+        size: int,
+        world: "World",
+        members: Sequence[int] | None = None,
+    ):
         self._size = size
         self._world = world
+        #: World ranks participating in this rendezvous.
+        self._members = list(members) if members is not None else list(range(size))
         self._cv = threading.Condition()
         self._gen = 0
         self._arrived = 0
@@ -106,6 +242,39 @@ class _Rendezvous:
         self._op_name: str | None = None
         self._results: dict[int, list[Any]] = {}
         self._refs: dict[int, int] = {}
+        # Debug-mode schedule verification (lazy; see module docstring).
+        self._recorders: list[ScheduleRecorder] | None = None
+        self._sched_ref: tuple[int, int] | None = None
+        #: group rank -> world rank of the ranks inside the current
+        #: generation (diagnostics: deadlock audit "waiting for ...").
+        self._present: dict[int, int] = {}
+
+    def _verify(
+        self, rank: int, world_rank: int, op_name: str, kind: str
+    ) -> CollectiveMismatchError | None:
+        """Record ``rank``'s op and cross-check rolling schedule hashes.
+
+        The first arriver of each generation is the reference; any later
+        arriver whose (hash, count) disagrees gets an error localizing
+        the divergence to the first mismatched op of the two logs.
+        """
+        if self._recorders is None:
+            self._recorders = [ScheduleRecorder(i) for i in range(self._size)]
+        rec = self._recorders[rank]
+        rec.record(op_name, kind)
+        if self._arrived == 0:
+            self._sched_ref = (rank, world_rank)
+            return None
+        ref_rank, ref_wr = self._sched_ref  # type: ignore[misc]
+        ref = self._recorders[ref_rank]
+        if (ref.rolling, ref.count) == (rec.rolling, rec.count):
+            return None
+        idx, ref_sig, sig = _first_divergence(ref.log, rec.log)
+        return CollectiveMismatchError(
+            f"collective schedule divergence at op #{idx}: rank {ref_wr} "
+            f"recorded {ref_sig!r} but rank {world_rank} recorded {sig!r} "
+            f"(detected entering {op_name!r}, collective op #{self._gen})"
+        )
 
     def exchange(
         self,
@@ -114,7 +283,10 @@ class _Rendezvous:
         deposit: Any,
         finalize: Callable[[list[Any]], list[Any]],
         timeout: float,
+        world_rank: int | None = None,
+        kind: str = "",
     ) -> Any:
+        wr = rank if world_rank is None else world_rank
         with self._cv:
             self._world.check_abort()
             gen = self._gen
@@ -122,13 +294,20 @@ class _Rendezvous:
                 self._op_name = op_name
             elif self._op_name != op_name:
                 exc = CollectiveMismatchError(
-                    f"rank {rank} called {op_name!r} while other ranks are in "
-                    f"{self._op_name!r} (generation {gen})"
+                    f"rank {wr} called {op_name!r} while other ranks are in "
+                    f"{self._op_name!r} (collective op #{gen})"
                 )
                 self._world.abort(exc)
                 self._cv.notify_all()
                 raise exc
+            if self._world.verify_schedule:
+                mismatch = self._verify(rank, wr, op_name, kind)
+                if mismatch is not None:
+                    self._world.abort(mismatch)
+                    self._cv.notify_all()
+                    raise mismatch
             self._slots[rank] = deposit
+            self._present[rank] = wr
             self._arrived += 1
             if self._arrived == self._size:
                 outs = finalize(self._slots)
@@ -141,21 +320,28 @@ class _Rendezvous:
                 self._refs[gen] = self._size
                 self._slots = [None] * self._size
                 self._arrived = 0
+                self._present = {}
                 self._gen += 1
                 self._cv.notify_all()
             else:
-                while self._gen == gen:
-                    if not self._cv.wait(timeout):
-                        exc = CommTimeoutError(
-                            f"rank {rank} timed out after {timeout}s inside "
-                            f"collective {op_name!r} (generation {gen}); "
-                            f"only {self._arrived}/{self._size} ranks arrived "
-                            "— likely a deadlock in the SPMD program"
-                        )
-                        self._world.abort(exc)
-                        self._cv.notify_all()
-                        raise exc
-                    self._world.check_abort()
+                self._world.set_blocked(wr, ("collective", op_name, self))
+                try:
+                    while self._gen == gen:
+                        if not self._cv.wait(timeout):
+                            exc = CommTimeoutError(
+                                f"rank {wr} timed out after {timeout}s inside "
+                                f"collective {op_name!r} (collective op "
+                                f"#{gen}); only {self._arrived}/{self._size} "
+                                "ranks arrived — likely a deadlock in the "
+                                "SPMD program\n"
+                                + self._world.deadlock_audit()
+                            )
+                            self._world.abort(exc)
+                            self._cv.notify_all()
+                            raise exc
+                        self._world.check_abort()
+                finally:
+                    self._world.clear_blocked(wr)
             out = self._results[gen][rank]
             self._refs[gen] -= 1
             if self._refs[gen] == 0:
@@ -171,13 +357,29 @@ class _Rendezvous:
 class World:
     """Shared state for one SPMD run: mailboxes, rendezvous, abort flag."""
 
-    def __init__(self, size: int, machine: MachineModel, timeout: float = 120.0):
+    def __init__(
+        self,
+        size: int,
+        machine: MachineModel,
+        timeout: float = 120.0,
+        verify_schedule: bool | None = None,
+    ):
         if size < 1:
             raise InvalidRankError(f"world size must be >= 1, got {size}")
         self.size = size
         self.machine = machine
         self.timeout = timeout
+        if verify_schedule is None:
+            verify_schedule = os.environ.get(
+                "REPRO_VERIFY_SCHEDULE", ""
+            ).strip().lower() in ("1", "true", "on", "yes")
+        #: Debug mode: cross-check each rank's rolling collective-schedule
+        #: hash at every rendezvous (see module docstring).
+        self.verify_schedule = bool(verify_schedule)
         self._abort_exc: BaseException | None = None
+        # Per-world-rank blocked state for the deadlock audit:
+        # ("recv", source, tag) or ("collective", op_name, rendezvous).
+        self._blocked: list[tuple | None] = [None] * size
         #: Optional fault-injection plan (``on_op(rank, op_index, op)``).
         self.fault_plan: Any = None
         # Per-rank communication-operation counters (each rank only ever
@@ -228,17 +430,22 @@ class World:
         cv = self._box_cvs[dest]
         key = (source, tag)
         with cv:
-            while not self._boxes[dest][key]:
+            self.set_blocked(dest, ("recv", source, tag))
+            try:
+                while not self._boxes[dest][key]:
+                    self.check_abort()
+                    if not cv.wait(timeout):
+                        exc = CommTimeoutError(
+                            f"rank {dest} timed out after {timeout}s waiting "
+                            f"for a message from rank {source} tag {tag}\n"
+                            + self.deadlock_audit()
+                        )
+                        self.abort(exc)
+                        raise exc
                 self.check_abort()
-                if not cv.wait(timeout):
-                    exc = CommTimeoutError(
-                        f"rank {dest} timed out after {timeout}s waiting for a "
-                        f"message from rank {source} tag {tag}"
-                    )
-                    self.abort(exc)
-                    raise exc
-            self.check_abort()
-            return self._boxes[dest][key].popleft()
+                return self._boxes[dest][key].popleft()
+            finally:
+                self.clear_blocked(dest)
 
     def probe_any(self, dest: int) -> bool:
         """True if any message is waiting for ``dest`` (test helper)."""
@@ -271,8 +478,61 @@ class World:
         with self._sub_lock:
             key = (members, group_id)
             if key not in self._sub_rendezvous:
-                self._sub_rendezvous[key] = _Rendezvous(len(members), self)
+                self._sub_rendezvous[key] = _Rendezvous(
+                    len(members), self, members=members
+                )
             return self._sub_rendezvous[key]
+
+    # -- deadlock audit --------------------------------------------------
+    def set_blocked(self, world_rank: int, info: tuple) -> None:
+        self._blocked[world_rank] = info
+
+    def clear_blocked(self, world_rank: int) -> None:
+        self._blocked[world_rank] = None
+
+    def deadlock_audit(self) -> str:
+        """Wait-for-graph snapshot: every rank's blocking op plus any
+        wait cycle.  Attached to each :class:`CommTimeoutError`.
+
+        Reads other ranks' state without their locks — safe for a
+        diagnostic taken when progress has already stopped.
+        """
+        lines = ["deadlock audit (wait-for graph):"]
+        edges: dict[int, set[int]] = {}
+        for r in range(self.size):
+            info = self._blocked[r]
+            if info is None:
+                lines.append(
+                    f"  rank {r}: running (not blocked in communication)"
+                )
+                continue
+            if info[0] == "recv":
+                _, source, tag = info
+                lines.append(
+                    f"  rank {r}: blocked in recv(source={source}, tag={tag})"
+                )
+                edges[r] = {source}
+            else:
+                _, op_name, rdv = info
+                waiting = sorted(
+                    set(rdv._members) - set(rdv._present.values())
+                )
+                lines.append(
+                    f"  rank {r}: blocked in collective {op_name!r} "
+                    f"(op #{rdv._gen}), waiting for ranks {waiting}"
+                )
+                edges[r] = set(waiting)
+        cycle = _find_wait_cycle(edges)
+        if cycle is not None:
+            lines.append(
+                "  wait cycle: " + " -> ".join(str(r) for r in cycle)
+            )
+        else:
+            lines.append(
+                "  no wait cycle detected (a rank may be slow, dead, "
+                "or computing)"
+            )
+        return "\n".join(lines)
 
     def communicator(self, rank: int) -> "Communicator":
         return Communicator(self, rank)
@@ -422,9 +682,17 @@ class Communicator:
             (deposit, self.clock),
             finalize,
             self.world.timeout,
+            world_rank=self.world_rank,
+            kind=self._schedule_kind(name, deposit),
         )
         self.charge(category, max(new_clock - self.clock, 0.0))
         return out
+
+    def _schedule_kind(self, name: str, deposit: Any) -> str:
+        """Payload descriptor recorded by the schedule verifier."""
+        if self.world.verify_schedule and name in _DTYPE_CHECKED:
+            return payload_kind(deposit)
+        return ""
 
     def barrier(self, category: str = "other") -> None:
         m = self.machine
@@ -870,6 +1138,8 @@ class SubCommunicator(Communicator):
             (deposit, self.clock),
             finalize,
             self.world.timeout,
+            world_rank=self.world_rank,
+            kind=self._schedule_kind(name, deposit),
         )
         self.charge(category, max(new_clock - self.clock, 0.0))
         return out

@@ -79,6 +79,7 @@ def run_spmd(
     trace_events: bool = False,
     fault_plan: Any = None,
     restore_from: str | None = None,
+    verify_schedule: bool | None = None,
     **kwargs: Any,
 ) -> SPMDResult:
     """Execute ``fn(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -109,8 +110,14 @@ def run_spmd(
         virtual clock resumes from the saved value, and the state is
         attached as ``comm.restored`` for the SPMD program to consume
         (e.g. ``distributed_louvain(..., resume=True)``).
+    verify_schedule:
+        Debug mode: cross-check every rank's rolling collective-schedule
+        hash at each rendezvous so a divergent schedule fails at its
+        first mismatched op (named by op index and rank) instead of
+        wherever it happens to explode later.  Defaults to the
+        ``REPRO_VERIFY_SCHEDULE`` environment variable.
     """
-    world = World(size, machine, timeout=timeout)
+    world = World(size, machine, timeout=timeout, verify_schedule=verify_schedule)
     world.fault_plan = fault_plan
     comms: list[Communicator] = [world.communicator(r) for r in range(size)]
     if restore_from is not None:

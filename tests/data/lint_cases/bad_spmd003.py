@@ -1,0 +1,11 @@
+"""SPMD003: literal send/recv tags with no matching peer call."""
+
+
+def push_boundary(comm, payload, neighbor):
+    # Tag 7 is never received anywhere in the linted code.
+    comm.send(payload, dest=neighbor, tag=7)
+
+
+def pull_boundary(comm, neighbor):
+    # Tag 9 is never sent anywhere in the linted code.
+    return comm.recv(source=neighbor, tag=9)

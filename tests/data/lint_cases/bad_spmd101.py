@@ -1,0 +1,16 @@
+"""SPMD101: iteration over sets has no deterministic order."""
+
+
+def accumulate_moves(comm, moved_ids, gains):
+    total = 0.0
+    # Set iteration order is arbitrary: the float accumulation order
+    # (and thus the rounded result) differs between runs/ranks.
+    for vid in set(moved_ids):
+        total += gains[vid]
+    return comm.allreduce(total)
+
+
+def frontier_union(comm, local_ids, ghost_ids):
+    # Union of two set() calls is still a set expression.
+    out = [vid * 2 for vid in set(local_ids) | set(ghost_ids)]
+    return comm.allgather(out)

@@ -1,0 +1,20 @@
+"""SPMD102: unseeded random number generators."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_vertices(order):
+    rng = np.random.default_rng()  # no seed: OS entropy
+    rng.shuffle(order)
+    return order
+
+
+def legacy_noise(n):
+    return np.random.rand(n)  # unseeded global RandomState
+
+
+def pick_candidate(candidates):
+    random.shuffle(candidates)  # process-global stdlib generator
+    return candidates[0]

@@ -1,0 +1,11 @@
+"""SPMD103: id()-derived ordering is address-dependent."""
+
+
+def order_partitions(parts):
+    # CPython object addresses differ run to run and rank to rank.
+    return sorted(parts, key=lambda p: id(p))
+
+
+def index_by_identity(a, b):
+    lookup = {id(a): a, id(b): b}
+    return lookup

@@ -1,0 +1,17 @@
+"""SPMD104: dict iteration feeding SPMD state (insertion order)."""
+
+
+def pack_community_updates(comm, updates):
+    out = []
+    # If ranks populated `updates` in different orders, the packed
+    # payload (and anything order-sensitive downstream) diverges.
+    for vid, label in updates.items():
+        out.append((vid, label))
+    return comm.allgather(out)
+
+
+def total_degree(comm, degrees):
+    acc = 0.0
+    for d in degrees.values():
+        acc += d
+    return comm.allreduce(acc)

@@ -1,0 +1,9 @@
+"""SPMD201: payloads the wire-size model cannot size deterministically."""
+
+
+def share_frontier(comm, frontier, weights):
+    # Sets pack in arbitrary order; generators are consumed by the
+    # size estimate before the receiver ever sees them.
+    comm.allreduce(set(frontier))
+    comm.bcast({1, 2, 3}, root=0)
+    return comm.gather((w * 2 for w in weights), root=0)

@@ -1,0 +1,33 @@
+"""SPMD002 near-misses: early exits that cannot split the schedule."""
+
+
+def collective_decision(comm, local_work):
+    # The exit is decided by an allreduce: every rank takes the same
+    # branch, so the skipped collectives are skipped everywhere.
+    empty_everywhere = comm.allreduce(len(local_work) == 0, op="land")
+    if empty_everywhere:
+        return 0.0
+    return comm.allreduce(local_work.sum())
+
+
+def replicated_flag(comm, values):
+    converged = comm.allreduce(float(values.sum())) < 1e-9
+    if converged:
+        return None
+    comm.barrier()
+    return values
+
+
+def guard_raises_instead(comm, values, n_expected):
+    # A conditional raise is fine: the failing rank aborts the world,
+    # it does not silently leave the collective understaffed.
+    if len(values) != n_expected:
+        raise ValueError("bad input shape")
+    return comm.allreduce(values.sum())
+
+
+def tail_return_only(comm, values):
+    total = comm.allreduce(values.sum())
+    if total < 0:
+        return 0.0
+    return total

@@ -1,0 +1,17 @@
+"""SPMD003 near-miss: literal tags that pair up across functions."""
+
+EXCHANGE_TAG = 3
+
+
+def push_boundary(comm, payload, neighbor):
+    comm.send(payload, dest=neighbor, tag=3)
+
+
+def pull_boundary(comm, neighbor):
+    return comm.recv(source=neighbor, tag=3)
+
+
+def symbolic_tags(comm, payload, neighbor):
+    # Non-literal tags are out of scope for the matcher: quiet.
+    comm.send(payload, dest=neighbor, tag=EXCHANGE_TAG)
+    return comm.recv(source=neighbor, tag=EXCHANGE_TAG)

@@ -1,0 +1,16 @@
+"""SPMD101 near-misses: sets used safely."""
+
+
+def accumulate_moves(comm, moved_ids, gains):
+    total = 0.0
+    # sorted() pins the order before iterating.
+    for vid in sorted(set(moved_ids)):
+        total += gains[vid]
+    return comm.allreduce(total)
+
+
+def membership_only(comm, moved, candidates):
+    moved_set = set(moved)
+    # Membership tests on sets are fine; only iteration is hazardous.
+    kept = [c for c in candidates if c not in moved_set]
+    return comm.allgather(kept)

@@ -1,0 +1,22 @@
+"""SPMD102 near-misses: seeded, reproducible randomness."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_vertices(order, seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(order)
+    return order
+
+
+def fixed_noise(n):
+    rng = np.random.default_rng(1234)
+    return rng.random(n)
+
+
+def pick_candidate(candidates, seed):
+    local = random.Random(seed)
+    local.shuffle(candidates)
+    return candidates[0]

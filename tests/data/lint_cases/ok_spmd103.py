@@ -1,0 +1,14 @@
+"""SPMD103 near-misses: ordering by stable, value-derived keys."""
+
+
+def order_partitions(parts):
+    return sorted(parts, key=lambda p: p.part_id)
+
+
+def order_by_length(chunks):
+    return sorted(chunks, key=len)
+
+
+def index_by_vertex(a, b):
+    lookup = {a.vid: a, b.vid: b}
+    return lookup

@@ -1,0 +1,15 @@
+"""SPMD104 near-miss: dict iteration with the order pinned."""
+
+
+def pack_community_updates(comm, updates):
+    out = []
+    for vid, label in sorted(updates.items()):
+        out.append((vid, label))
+    return comm.allgather(out)
+
+
+def total_degree(comm, degrees):
+    acc = 0.0
+    for d in sorted(degrees.values()):
+        acc += d
+    return comm.allreduce(acc)

@@ -1,0 +1,9 @@
+"""SPMD201 near-misses: deterministic payload shapes."""
+
+
+def share_frontier(comm, frontier, weights):
+    # Sets may exist locally — only *sending* one is hazardous.
+    local = set(frontier)
+    comm.allreduce(sorted(local))
+    comm.bcast([1, 2, 3], root=0)
+    return comm.gather([w * 2 for w in weights], root=0)

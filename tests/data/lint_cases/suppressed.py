@@ -1,0 +1,24 @@
+"""Suppression-comment behavior.
+
+Two violations are silenced (targeted and bare ignore); the third uses
+a non-matching rule id, so its finding must still be emitted.
+"""
+
+
+def guarded(comm, x):
+    if comm.rank == 0:  # spmdlint: ignore[SPMD001] -- deliberate fixture
+        comm.bcast(x, root=0)
+    return x
+
+
+def iterate(comm, members, gains):
+    total = 0.0
+    for vid in set(members):  # spmdlint: ignore
+        total += gains[vid]
+    return comm.allreduce(total)
+
+
+def wrong_id(comm, x):
+    if comm.rank == 0:  # spmdlint: ignore[SPMD104] -- wrong rule: no effect
+        comm.bcast(x, root=0)
+    return x

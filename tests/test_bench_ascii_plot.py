@@ -53,7 +53,7 @@ class TestAsciiPlot:
 
     def test_dimensions_respected(self):
         out = ascii_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
-        plot_rows = [l for l in out.splitlines() if "|" in l]
+        plot_rows = [ln for ln in out.splitlines() if "|" in ln]
         assert len(plot_rows) == 5
 
 

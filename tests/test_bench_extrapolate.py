@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.extrapolate import ScalingModel, calibrate, observe_run
+from repro.bench.extrapolate import calibrate, observe_run
 from repro.core import run_louvain
 from repro.generators import dataset, make_graph
 from repro.runtime import CORI_HASWELL

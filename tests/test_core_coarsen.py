@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import coarsen_csr, modularity, remote_lookup
 from repro.core.coarsen import rebuild_distributed
-from repro.graph import CSRGraph, DistGraph, EdgeList
+from repro.graph import CSRGraph, DistGraph
 from repro.runtime import FREE, run_spmd
 
 from .conftest import planted_blocks_graph

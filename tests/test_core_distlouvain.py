@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import LouvainConfig, Variant, louvain, modularity, run_louvain
-from repro.graph import CSRGraph, EdgeList
+from repro.graph import EdgeList
 from repro.runtime import CORI_HASWELL, FREE
 
 from .conftest import assert_valid_partition, planted_blocks_graph

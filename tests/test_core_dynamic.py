@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import LouvainConfig, modularity, run_louvain
+from repro.core import modularity, run_louvain
 from repro.core.dynamic import (
     ChurnStats,
     EdgeChurn,
@@ -11,10 +11,9 @@ from repro.core.dynamic import (
     churn_statistics,
     incremental_louvain,
 )
-from repro.graph import EdgeList
 from repro.runtime import FREE
 
-from .conftest import assert_valid_partition, planted_blocks_graph
+from .conftest import assert_valid_partition
 
 
 class TestEdgeChurn:

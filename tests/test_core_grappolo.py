@@ -12,7 +12,7 @@ from repro.core import (
     modularity,
     vertex_following_seed,
 )
-from repro.graph import CSRGraph, EdgeList
+from repro.graph import CSRGraph
 
 from .conftest import assert_valid_partition
 

@@ -17,6 +17,14 @@ from repro.runtime import FREE, InjectedFault, RankFailedError
 from .conftest import planted_blocks_graph, random_graph
 
 
+@pytest.fixture(autouse=True)
+def _verify_schedule(monkeypatch):
+    """Run this suite under the dynamic collective-schedule verifier so
+    a push/pull schedule divergence fails at its first mismatched op
+    instead of on end-state mismatch."""
+    monkeypatch.setenv("REPRO_VERIFY_SCHEDULE", "1")
+
+
 def _graph():
     return planted_blocks_graph(
         blocks=6, per_block=15, p_in=0.5, inter_edges=40, seed=5

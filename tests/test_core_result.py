@@ -1,7 +1,6 @@
 """Unit tests for result containers."""
 
 import numpy as np
-import pytest
 
 from repro.core import IterationStats, LouvainResult, PhaseStats, normalize_assignment
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import modularity, move_gain, propose_moves, sorted_lookup
+from repro.core import move_gain, propose_moves, sorted_lookup
 from repro.core.sweep import array_lookup
 from repro.graph import CSRGraph, EdgeList
 

@@ -175,3 +175,31 @@ class TestGhostChannelDeltaCoherence:
 
         r = run_spmd(4, prog, machine=FREE, timeout=60.0)
         assert all(r.values)
+
+
+class TestMisalignedGhostAudit:
+    """Regression: a ghost array misaligned on ONE rank used to make that
+    rank return early from audit_ghost_coherence, skipping the
+    remote_lookup collectives the healthy ranks were entering (schedule
+    divergence -> deadlock on real MPI).  The decision is now collective;
+    the audit must complete on every rank and fail everywhere."""
+
+    def test_single_rank_misalignment_fails_collectively(
+        self, planted_blocks
+    ):
+        def prog(comm):
+            dg = DistGraph.distribute(comm, planted_blocks)
+            plan = dg.build_ghost_plan(comm)
+            local_comm = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+            ghost = dg.exchange_ghost_values(comm, plan, local_comm)
+            if comm.rank == 1:
+                ghost = ghost[:-1]  # drop one entry on this rank only
+            return audit_ghost_coherence(comm, dg, local_comm, ghost)
+
+        # verify_schedule makes any residual collective divergence fail
+        # fast with a localized error instead of a timeout.
+        r = run_spmd(2, prog, machine=FREE, timeout=30.0,
+                     verify_schedule=True)
+        assert all(not rep.ok for rep in r.values)
+        for rep in r.values:  # merge_global replicates the failure list
+            assert any("misaligned" in f for f in rep.failures)

@@ -6,7 +6,6 @@ diameter class.  These tests pin the statistics down quantitatively.
 """
 
 import numpy as np
-import pytest
 
 from repro.generators import (
     generate_grid3d,

@@ -13,7 +13,7 @@ from repro.graph.distalgo import (
 )
 from repro.runtime import FREE, run_spmd
 
-from .conftest import planted_blocks_graph, random_graph
+from .conftest import random_graph
 
 
 def run_components(g, nranks):

@@ -126,6 +126,42 @@ class TestGhostExchange:
 
         assert all(spmd(4, prog).values)
 
+    @pytest.mark.parametrize("use_neighbor", [False, True])
+    def test_insertion_order_of_plan_dicts_is_irrelevant(
+        self, use_neighbor
+    ):
+        # Regression: exchange_ghost_values used to iterate
+        # plan.send_ids/recv_ids in dict insertion order, so two plans
+        # with the same content but different construction history could
+        # exchange in different per-rank orders.  Both iterations are now
+        # sorted; a plan with reversed insertion order must produce the
+        # identical ghost array (checked under the schedule verifier).
+        from repro.graph.distgraph import GhostPlan
+
+        g = planted_blocks_graph(blocks=4, per_block=10, seed=3)
+
+        def prog(comm):
+            dg = DistGraph.distribute(comm, g)
+            plan = dg.build_ghost_plan(comm)
+            reversed_plan = GhostPlan(
+                ghost_ids=plan.ghost_ids,
+                recv_ids=dict(reversed(list(plan.recv_ids.items()))),
+                send_ids=dict(reversed(list(plan.send_ids.items()))),
+            )
+            local = (np.arange(dg.vbegin, dg.vend) * 7 + 1).astype(np.int64)
+            a = dg.exchange_ghost_values(
+                comm, plan, local, use_neighbor_collectives=use_neighbor
+            )
+            b = dg.exchange_ghost_values(
+                comm, reversed_plan, local,
+                use_neighbor_collectives=use_neighbor,
+            )
+            return bool(np.array_equal(a, b)) and bool(
+                np.all(a == plan.ghost_ids * 7 + 1)
+            )
+
+        assert all(spmd(4, prog, verify_schedule=True).values)
+
     def test_wrong_length_rejected(self):
         g = ring_graph(8)
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, EdgeList
+from repro.graph import EdgeList
 
 
 class TestFromArrays:

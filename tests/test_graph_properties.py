@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graph import CSRGraph, DistGraph, EdgeList, even_edge, even_vertex
+from repro.graph import DistGraph, EdgeList, even_edge, even_vertex
 from repro.runtime import FREE, run_spmd
 
 from .conftest import random_graph

@@ -13,7 +13,7 @@ from repro.core import (
     run_louvain,
 )
 from repro.generators import generate_lfr, generate_ssca2, make_graph
-from repro.graph import DistGraph, EdgeList, write_edgelist
+from repro.graph import DistGraph, write_edgelist
 from repro.quality import best_match_scores, normalized_mutual_information
 from repro.runtime import CORI_HASWELL, FREE, run_spmd
 

@@ -1,0 +1,145 @@
+"""Error-path coverage for the simulated runtime.
+
+Exercises the messages and secondary-failure handling that the dynamic
+analysis layer (docs/ANALYSIS.md) relies on: collective-mismatch
+localization, schedule-hash divergence, deadlock audits on timeout, and
+RankAborted suppression in RankFailedError.causes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd
+from repro.runtime.errors import (
+    CollectiveMismatchError,
+    CommTimeoutError,
+    RankAborted,
+    RankFailedError,
+)
+
+
+def first_cause(excinfo) -> BaseException:
+    err = excinfo.value
+    return err.causes[err.rank]
+
+
+class TestCollectiveMismatch:
+    def test_op_name_mismatch_names_both_ops_and_the_rank(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.allreduce(1.0)
+            else:
+                comm.barrier()
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog)
+        cause = first_cause(excinfo)
+        assert isinstance(cause, CollectiveMismatchError)
+        msg = str(cause)
+        assert "'allreduce'" in msg and "'barrier'" in msg
+        assert "collective op #0" in msg
+        assert "rank" in msg
+
+    def test_schedule_verifier_pinpoints_dtype_divergence(self):
+        # Same op name on every rank, but rank 1 deposits an int where
+        # the others deposit a float64 array: only the debug verifier
+        # can see this, and it must localize to op index and rank.
+        def prog(comm):
+            comm.barrier()  # op #0, identical everywhere
+            if comm.rank == 1:
+                return comm.allreduce(3)
+            return comm.allreduce(np.ones(4, dtype=np.float64))
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog, verify_schedule=True)
+        cause = first_cause(excinfo)
+        assert isinstance(cause, CollectiveMismatchError)
+        msg = str(cause)
+        assert "divergence at op #1" in msg
+        assert "ndarray[float64]" in msg
+        assert "allreduce|int" in msg
+        assert "rank 0" in msg and "rank 1" in msg
+
+    def test_verifier_silent_on_matching_schedules(self):
+        def prog(comm):
+            comm.barrier()
+            total = comm.allreduce(float(comm.rank))
+            return comm.allgather([comm.rank] * comm.rank)  # ragged: ok
+
+        out = run_spmd(3, prog, verify_schedule=True)
+        assert out.values[0] == [[], [1], [2, 2]]
+
+    def test_env_var_enables_verifier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_SCHEDULE", "1")
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.allreduce(np.float64(1.0))
+            return comm.allreduce([1.0])
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog)
+        assert "divergence at op #0" in str(first_cause(excinfo))
+
+
+class TestDeadlockAudit:
+    def test_recv_cycle_is_reported(self):
+        # 0 waits on 1 and 1 waits on 0: a true wait cycle.
+        def prog(comm):
+            peer = 1 - comm.rank
+            return comm.recv(source=peer, tag=0)
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog, timeout=0.3)
+        cause = first_cause(excinfo)
+        assert isinstance(cause, CommTimeoutError)
+        msg = str(cause)
+        assert "deadlock audit (wait-for graph):" in msg
+        assert "wait cycle: 0 -> 1 -> 0" in msg
+
+    def test_collective_straggler_names_missing_ranks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # rank 1 never arrives
+            return None
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog, timeout=0.3)
+        msg = str(first_cause(excinfo))
+        assert "blocked in collective 'barrier'" in msg
+        assert "waiting for ranks [1]" in msg
+        assert "rank 1: running (not blocked in communication)" in msg
+        assert "no wait cycle detected" in msg
+
+
+class TestRankAbortedSuppression:
+    def test_causes_contain_only_the_primary_failure(self):
+        # Rank 0 raises; ranks 1 and 2 are parked in a collective and
+        # observe RankAborted, which must not appear as a cause.
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("primary failure")
+            comm.barrier()
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(3, prog)
+        err = excinfo.value
+        assert set(err.causes) == {0}
+        assert isinstance(err.causes[0], ValueError)
+        assert err.rank == 0
+        assert "first failure on rank 0" in str(err)
+        assert "ValueError" in str(err)
+
+    def test_multiple_primary_failures_all_reported(self):
+        def prog(comm):
+            raise RuntimeError(f"rank {comm.rank} failed")
+
+        with pytest.raises(RankFailedError) as excinfo:
+            run_spmd(2, prog)
+        err = excinfo.value
+        assert set(err.causes) == {0, 1}
+        assert not any(
+            isinstance(c, RankAborted) for c in err.causes.values()
+        )

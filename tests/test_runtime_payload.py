@@ -1,7 +1,6 @@
 """Unit tests for message payload size estimation."""
 
 import numpy as np
-import pytest
 
 from repro.runtime.payload import ENVELOPE_BYTES, SCALAR_BYTES, message_bytes, nbytes
 
