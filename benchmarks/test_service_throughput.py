@@ -1,0 +1,66 @@
+"""Service-tier throughput: jobs/sec through the engine and cache hit-rate.
+
+Not a paper figure — the service layer is an extension beyond the paper
+(see docs/PAPER_MAPPING.md).  This bench keeps the serving tier honest:
+
+* **cold**: N distinct (graph, config) jobs through a 4-worker engine —
+  end-to-end throughput of scheduling + SPMD simulation;
+* **warm**: the same workload resubmitted against a populated result
+  store — throughput when every job is a cache hit, plus the hit-rate.
+
+Wall-clock time here is real (the engine multiplexes actual simulator
+runs), unlike the modelled times of the paper-reproduction benches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import PAPER_VARIANTS
+from repro.generators import make_graph
+from repro.service import DetectionRequest, Engine, ResultStore
+
+
+def _workload():
+    graphs = [
+        make_graph("soc-friendster", scale="tiny"),
+        make_graph("channel", scale="tiny"),
+    ]
+    return [
+        DetectionRequest(graph=g, nranks=p, config=cfg)
+        for g in graphs
+        for cfg in PAPER_VARIANTS
+        for p in (2, 4)
+    ][:16]
+
+
+def test_service_throughput(record_result):
+    requests = _workload()
+    store = ResultStore(capacity=64)
+
+    with Engine(workers=4, store=store) as engine:
+        t0 = time.perf_counter()
+        engine.wait_all([engine.submit(r) for r in requests], timeout=600)
+        cold = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_ids = [engine.submit(r) for r in requests]
+        responses = engine.wait_all(warm_ids, timeout=600)
+        warm = time.perf_counter() - t0
+
+        snapshot = engine.metrics.snapshot()
+
+    hits = sum(r.cache_hit for r in responses)
+    assert hits == len(requests), "warm pass should be all cache hits"
+    assert snapshot["counters"]["cache_hits"] >= len(requests)
+
+    lines = [
+        "service throughput (4 workers, tiny graphs, "
+        f"{len(requests)} mixed-variant jobs)",
+        f"  cold: {cold:8.3f}s  {len(requests) / cold:8.1f} jobs/s",
+        f"  warm: {warm:8.3f}s  {len(requests) / warm:8.1f} jobs/s "
+        "(all cache hits)",
+        f"  cache hit-rate over both passes: "
+        f"{snapshot['cache_hit_rate']:.1%}",
+    ]
+    record_result("service_throughput", "\n".join(lines))

@@ -5,12 +5,24 @@ Community Detection", IPDPS 2018, on a simulated SPMD/MPI runtime.
 
 Quickstart::
 
-    from repro import make_graph, run_louvain, LouvainConfig, Variant
+    from repro import DetectionRequest, Engine, LouvainConfig, Variant, make_graph
 
     g = make_graph("soc-friendster", scale="small")
-    result = run_louvain(g, nranks=8, config=LouvainConfig(
-        variant=Variant.ETC, alpha=0.25))
-    print(result.summary())
+    with Engine(workers=4) as engine:
+        job = engine.submit(DetectionRequest(
+            graph=g, nranks=8,
+            config=LouvainConfig(variant=Variant.ETC, alpha=0.25)))
+        print(engine.wait(job).summary())
+
+One-shot, without a worker pool::
+
+    from repro import DetectionRequest, detect
+
+    result = detect(DetectionRequest(graph=g, nranks=8)).result
+
+The pre-service entry points (``run_louvain``, ``distributed_louvain``,
+``incremental_louvain``) still work but are deprecated wrappers over
+the request API and emit :class:`DeprecationWarning`.
 
 Subpackages
 -----------
@@ -28,6 +40,9 @@ Subpackages
     and the paper's distributed Louvain with its heuristics.
 ``repro.quality``
     Ground-truth metrics (precision/recall/F-score, NMI).
+``repro.service``
+    The serving tier: async detection engine, scheduler, result cache,
+    service metrics, and the unified typed request API.
 ``repro.bench``
     Experiment harness used by the ``benchmarks/`` directory.
 """
@@ -36,32 +51,52 @@ from .core import (
     LouvainConfig,
     LouvainResult,
     Variant,
-    distributed_louvain,
     grappolo_louvain,
     louvain,
     modularity,
-    run_louvain,
 )
 from .generators import make_graph
 from .graph import CSRGraph, DistGraph, EdgeList
 from .quality import best_match_scores, normalized_mutual_information
 from .runtime import CORI_HASWELL, MachineModel, run_spmd
+from .service import (
+    AdmissionError,
+    DetectionRequest,
+    DetectionResponse,
+    Engine,
+    JobState,
+    ResultStore,
+    detect,
+)
+from .service.facade import (
+    distributed_louvain,
+    incremental_louvain,
+    run_louvain,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "CORI_HASWELL",
     "CSRGraph",
+    "DetectionRequest",
+    "DetectionResponse",
     "DistGraph",
     "EdgeList",
+    "Engine",
+    "JobState",
     "LouvainConfig",
     "LouvainResult",
     "MachineModel",
+    "ResultStore",
     "Variant",
     "__version__",
     "best_match_scores",
+    "detect",
     "distributed_louvain",
     "grappolo_louvain",
+    "incremental_louvain",
     "louvain",
     "make_graph",
     "modularity",

@@ -7,6 +7,9 @@
     repro-louvain info     graph.bin
     repro-louvain detect   graph.bin --ranks 8 --variant etc --alpha 0.25 \\
                            --out communities.txt --checkpoint-dir ckpts/
+    repro-louvain submit   graph.bin --ranks 8 --variant etc \\
+                           --cache-dir cache/
+    repro-louvain serve    jobs.json --workers 4 --cache-dir cache/
     repro-louvain ckpt     validate ckpts/
     repro-louvain compare  communities.txt ground_truth.txt
     repro-louvain lint     src/repro --fail-on error
@@ -14,7 +17,10 @@
 ``generate`` produces the synthetic stand-ins from the dataset registry,
 ``convert`` runs the paper's native-format-to-binary step, ``detect``
 does the distributed ingest + Louvain run (optionally writing resilience
-checkpoints, or resuming from them with ``--resume``), ``ckpt``
+checkpoints, or resuming from them with ``--resume``), ``submit`` runs
+one job through the detection service (with a persistent result cache,
+so a repeated submission is served without recomputing), ``serve``
+drives a whole job file concurrently through the service engine, ``ckpt``
 inspects/validates a checkpoint directory, ``compare`` scores a result
 against ground truth with the §V-D metrics, ``lint`` runs the spmdlint
 SPMD correctness analysis (see ``docs/ANALYSIS.md``).
@@ -91,6 +97,54 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--resume", action="store_true",
                      help="resume from the latest valid checkpoint in "
                           "--checkpoint-dir instead of starting fresh")
+
+    def add_config_flags(p) -> None:
+        p.add_argument(
+            "--variant",
+            default="baseline",
+            choices=("baseline", "threshold-cycling", "et", "etc", "et+tc"),
+        )
+        p.add_argument("--alpha", type=float, default=0.25)
+        p.add_argument("--tau", type=float, default=1e-6)
+        p.add_argument("--resolution", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    smt = sub.add_parser(
+        "submit", help="run one job through the detection service"
+    )
+    smt.add_argument("input", help="binary graph file")
+    smt.add_argument("--ranks", type=int, default=4)
+    add_config_flags(smt)
+    smt.add_argument("--priority", type=int, default=0)
+    smt.add_argument("--timeout", type=float,
+                     help="job deadline in wall-clock seconds")
+    smt.add_argument("--max-retries", type=int, default=1)
+    smt.add_argument("--cache-dir",
+                     help="persistent result cache directory (repeat "
+                          "submissions are served from it)")
+    smt.add_argument("--no-cache", action="store_true",
+                     help="bypass the result cache for this job")
+    smt.add_argument("--out", help="write 'vertex community' text file")
+    smt.add_argument("--save", help="write .npz result file")
+
+    srv = sub.add_parser(
+        "serve", help="drive a JSON job file through the service engine"
+    )
+    srv.add_argument(
+        "jobs",
+        help="JSON job file: [{\"graph\": path, \"ranks\": n, "
+             "\"config\": {...}, \"priority\": p, \"repeat\": k}, ...]",
+    )
+    srv.add_argument("--workers", type=int, default=4,
+                     help="concurrent jobs (default 4)")
+    srv.add_argument("--queue-depth", type=int, default=64,
+                     help="admission bound on pending jobs (default 64)")
+    srv.add_argument("--cache-dir",
+                     help="persistent result cache directory")
+    srv.add_argument("--metrics", metavar="FILE",
+                     help="write the metrics snapshot as JSON")
+    srv.add_argument("--trace", action="store_true",
+                     help="print the aggregate modelled-time breakdown")
 
     ckpt = sub.add_parser(
         "ckpt", help="inspect or validate a checkpoint directory"
@@ -242,6 +296,109 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _config_from_args(args):
+    from .core import LouvainConfig, Variant
+
+    return LouvainConfig(
+        variant=Variant(args.variant),
+        alpha=args.alpha,
+        tau=args.tau,
+        resolution=args.resolution,
+        seed=args.seed,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from .core.resultio import save_result, write_communities_text
+    from .service import DetectionRequest, Engine, ResultStore
+
+    request = DetectionRequest(
+        graph_path=args.input,
+        config=_config_from_args(args),
+        nranks=args.ranks,
+        priority=args.priority,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        use_cache=not args.no_cache,
+    )
+    store = (
+        ResultStore(directory=args.cache_dir)
+        if args.cache_dir
+        else None
+    )
+    with Engine(workers=1, store=store) as engine:
+        response = engine.detect(request, timeout=args.timeout)
+    print(response.summary())
+    result = response.result
+    if result is None:
+        return 1
+    if args.out:
+        write_communities_text(args.out, result.assignment)
+        print(f"communities written to {args.out}")
+    if args.save:
+        save_result(args.save, result)
+        print(f"result saved to {args.save}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from .core import LouvainConfig
+    from .service import AdmissionError, DetectionRequest, Engine, ResultStore
+
+    with open(args.jobs, "r", encoding="utf-8") as fh:
+        specs = json.load(fh)
+    if not isinstance(specs, list):
+        print("error: job file must hold a JSON list", file=sys.stderr)
+        return 2
+
+    store = (
+        ResultStore(directory=args.cache_dir)
+        if args.cache_dir
+        else ResultStore()
+    )
+    failed = 0
+    with Engine(
+        workers=args.workers, queue_depth=args.queue_depth, store=store
+    ) as engine:
+        job_ids = []
+        for i, spec in enumerate(specs):
+            try:
+                request = DetectionRequest(
+                    graph_path=spec["graph"],
+                    config=LouvainConfig.from_dict(spec.get("config", {})),
+                    nranks=int(spec.get("ranks", 4)),
+                    priority=int(spec.get("priority", 0)),
+                    timeout=spec.get("timeout"),
+                    max_retries=int(spec.get("max_retries", 1)),
+                    tag=str(spec.get("tag", f"jobs[{i}]")),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                print(f"error: jobs[{i}]: {exc}", file=sys.stderr)
+                return 2
+            for _ in range(int(spec.get("repeat", 1))):
+                try:
+                    job_ids.append(engine.submit(request))
+                except AdmissionError as exc:
+                    # Backpressure: report the shed job and keep going.
+                    print(f"rejected jobs[{i}]: {exc}")
+                    failed += 1
+        for job_id in job_ids:
+            response = engine.wait(job_id)
+            print(response.summary())
+            if response.result is None:
+                failed += 1
+        print(engine.metrics.format())
+        if args.trace:
+            print(engine.trace_report().format())
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(engine.metrics.snapshot(), fh, indent=1)
+            print(f"metrics written to {args.metrics}")
+    return 1 if failed else 0
+
+
 def _cmd_ckpt(args) -> int:
     from .resilience import scan_checkpoints, verify_manifest
 
@@ -330,6 +487,8 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "info": _cmd_info,
     "detect": _cmd_detect,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
     "ckpt": _cmd_ckpt,
     "compare": _cmd_compare,
     "lint": _cmd_lint,

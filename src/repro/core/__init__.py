@@ -22,6 +22,7 @@ from .dynamic import (
     apply_churn,
     churn_statistics,
     incremental_louvain,
+    warm_start_assignment,
 )
 from .grappolo import grappolo_louvain, greedy_coloring, vertex_following_seed
 from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
@@ -103,5 +104,6 @@ __all__ = [
     "unpack_info",
     "verify_coloring",
     "vertex_following_seed",
+    "warm_start_assignment",
     "write_communities_text",
 ]

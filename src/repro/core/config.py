@@ -12,7 +12,10 @@ The experiment legends map to :class:`Variant` as:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any
 
 
 class Variant(enum.Enum):
@@ -45,6 +48,29 @@ DEFAULT_THRESHOLD_CYCLE: tuple[tuple[float, int], ...] = (
     (1e-4, 4),
     (1e-5, 3),
     (1e-6, 3),
+)
+
+
+#: Fields that determine the detection outcome (assignment, modularity,
+#: per-phase statistics).  The complement — bit-identical transport
+#: ablations and debug auditing — is deliberately outside the cache key
+#: so e.g. a push-transport request can be served from a pull-transport
+#: cached result.
+CACHE_KEY_FIELDS = frozenset(
+    {
+        "variant",
+        "tau",
+        "alpha",
+        "et_inactive_floor",
+        "etc_exit_fraction",
+        "threshold_cycle",
+        "max_phases",
+        "max_iterations",
+        "seed",
+        "use_coloring",
+        "resolution",
+        "track_assignments",
+    }
 )
 
 
@@ -151,6 +177,64 @@ class LouvainConfig:
         if self.variant is Variant.ETC:
             return f"ETC({self.alpha:g})"
         return f"ET({self.alpha:g})+TC"
+
+    # ------------------------------------------------------------------
+    # Canonical serialization / content addressing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict of every field (round-trips via :meth:`from_dict`)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Variant):
+                value = value.value
+            elif f.name == "threshold_cycle":
+                value = [[float(t), int(c)] for t, c in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LouvainConfig":
+        """Rebuild a config from :meth:`to_dict` output (or a subset).
+
+        Missing keys take their defaults; unknown keys raise
+        :class:`ValueError` (typo safety for job-spec files).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown LouvainConfig field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if "variant" in kwargs and not isinstance(kwargs["variant"], Variant):
+            kwargs["variant"] = Variant(kwargs["variant"])
+        if "threshold_cycle" in kwargs:
+            kwargs["threshold_cycle"] = tuple(
+                (float(t), int(c)) for t, c in kwargs["threshold_cycle"]
+            )
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """Stable content hash over the semantically meaningful fields.
+
+        Two configs hash equal iff they request the same detection
+        *outcome*: transport knobs (``use_neighbor_collectives``,
+        ``ghost_delta_updates``, ``community_push_updates``) are
+        excluded because their results are proven bit-identical, and
+        ``validate_invariants`` is excluded because it only audits.
+        Field order never matters (keys are sorted), so the hash is
+        stable across dataclass reordering and process restarts.  Used
+        as the config half of the result-store cache key and recorded
+        in checkpoint manifests to refuse cross-config resumes.
+        """
+        payload = {
+            name: value
+            for name, value in self.to_dict().items()
+            if name in CACHE_KEY_FIELDS
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 #: Ready-made configs for the variant sweep the paper reports.

@@ -604,7 +604,26 @@ def _exact_modularity(
     return float(total[0] / w - resolution * total[1] / (w * w))
 
 
-def _load_restored_state(comm: Communicator, manager):
+def _check_resume_config(manifest, config: LouvainConfig | None) -> None:
+    """Refuse to resume under semantics the checkpoint was not taken with.
+
+    Pre-key manifests (empty ``config_key``) are accepted for backward
+    compatibility.  Config and manifest are replicated across ranks, so
+    raising here is SPMD-safe (all ranks raise together).
+    """
+    if config is None or not getattr(manifest, "config_key", ""):
+        return
+    if manifest.config_key != config.cache_key():
+        raise ValueError(
+            f"checkpoint {manifest.directory} was written by config "
+            f"[{manifest.label}] (key {manifest.config_key[:12]}…) but "
+            f"the resuming config is [{config.label()}] (key "
+            f"{config.cache_key()[:12]}…); resuming across configs "
+            "would corrupt the run"
+        )
+
+
+def _load_restored_state(comm: Communicator, manager, config=None):
     """Fetch this rank's checkpointed state for ``resume=True``.
 
     Prefers state attached by ``run_spmd(..., restore_from=...)`` (the
@@ -617,6 +636,7 @@ def _load_restored_state(comm: Communicator, manager):
     attached = getattr(comm, "restored", None)
     if attached is not None:
         attached.consumed = True
+        _check_resume_config(attached.manifest, config)
         # run_spmd(restore_from=...) attaches restored state to every
         # rank's communicator or to none, so all ranks exit here
         # together.
@@ -628,7 +648,8 @@ def _load_restored_state(comm: Communicator, manager):
             "resume=True requires checkpoint_dir= or a world restored "
             "via run_spmd(..., restore_from=...)"
         )
-    _, meta, arrays = manager.load_latest(comm)
+    manifest, meta, arrays = manager.load_latest(comm)
+    _check_resume_config(manifest, config)
     state = unpack_rank_state(comm.rank, meta, arrays)
     # Resumed modelled time = time at the checkpoint + restore cost
     # accrued so far on this fresh world.
@@ -722,6 +743,7 @@ def distributed_louvain(
             every_phases=checkpoint_every,
             every_iterations=checkpoint_every_iterations,
             label=config.label(),
+            config_key=config.cache_key(),
         )
 
     cycler = (
@@ -729,7 +751,7 @@ def distributed_louvain(
         if config.variant.uses_threshold_cycling
         else None
     )
-    restored = _load_restored_state(comm, manager) if resume else None
+    restored = _load_restored_state(comm, manager, config) if resume else None
     if restored is not None:
         dg = restored.dg
         orig_slice = restored.orig_slice

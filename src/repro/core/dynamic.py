@@ -147,6 +147,32 @@ def incremental_louvain(
         neighbourhood changed re-decide from scratch while the rest of
         the graph keeps its structure.
     """
+    seed = warm_start_assignment(
+        g_new, previous_assignment, reset_touched=reset_touched
+    )
+    return run_louvain(
+        g_new,
+        nranks,
+        config,
+        machine=machine,
+        initial_assignment=seed,
+    )
+
+
+def warm_start_assignment(
+    g_new: CSRGraph,
+    previous_assignment: np.ndarray,
+    *,
+    reset_touched: np.ndarray | None = None,
+) -> np.ndarray:
+    """Build the warm-start seed labels for an incremental re-detection.
+
+    Extends the previous assignment to any new vertices (fresh
+    singletons) and optionally resets the ``reset_touched`` vertices to
+    singletons so they re-decide from scratch.  Shared by
+    :func:`incremental_louvain` and the detection service's
+    ``mode="incremental"`` requests.
+    """
     previous_assignment = np.asarray(previous_assignment, dtype=np.int64)
     n_new = g_new.num_vertices
     if len(previous_assignment) > n_new:
@@ -165,13 +191,7 @@ def incremental_louvain(
         touched = np.asarray(reset_touched, dtype=np.int64)
         fresh = int(seed.max()) + 1
         seed[touched] = fresh + np.arange(len(touched), dtype=np.int64)
-    return run_louvain(
-        g_new,
-        nranks,
-        config,
-        machine=machine,
-        initial_assignment=seed,
-    )
+    return seed
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ implementation and kept consistent across the whole library:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -90,6 +91,20 @@ class CSRGraph:
     def edge_counts(self) -> np.ndarray:
         """Unweighted degree (row length) for every vertex (int64[n])."""
         return np.diff(self.index)
+
+    def fingerprint(self) -> str:
+        """SHA-256 content hash of the graph (structure + weights).
+
+        Two CSR graphs fingerprint equal iff their ``index``/``edges``/
+        ``weights`` arrays are byte-identical — the graph half of the
+        detection-service result-cache key (:mod:`repro.service.store`).
+        """
+        h = hashlib.sha256()
+        h.update(np.int64(self.num_vertices).tobytes())
+        h.update(self.index.tobytes())
+        h.update(self.edges.tobytes())
+        h.update(self.weights.tobytes())
+        return h.hexdigest()
 
     def self_loop_weights(self) -> np.ndarray:
         """Self-loop weight per vertex (float64[n], zero when absent)."""

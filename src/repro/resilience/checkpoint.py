@@ -88,6 +88,11 @@ class Manifest:
     label: str           # free-form application tag (e.g. config label)
     shards: tuple[ShardInfo, ...]
     directory: str       # absolute path of the checkpoint directory
+    #: ``LouvainConfig.cache_key()`` of the run that wrote the
+    #: checkpoint ("" for pre-key manifests).  Resume refuses manifests
+    #: whose key differs from the resuming config: continuing a run
+    #: under different semantics would silently produce garbage.
+    config_key: str = ""
 
     def shard_path(self, rank: int) -> str:
         for s in self.shards:
@@ -207,6 +212,7 @@ def read_manifest(step_dir: str) -> Manifest:
             label=str(raw.get("label", "")),
             shards=shards,
             directory=os.path.abspath(step_dir),
+            config_key=str(raw.get("config_key", "")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ManifestError(f"malformed manifest {path}: {exc}") from exc
@@ -303,6 +309,9 @@ class CheckpointManager:
         directories are pruned after each successful save (0 keeps all).
     label:
         Free-form tag recorded in manifests (e.g. the config label).
+    config_key:
+        ``LouvainConfig.cache_key()`` of the run, recorded in every
+        manifest so resume can detect cross-config mismatches.
     """
 
     def __init__(
@@ -313,6 +322,7 @@ class CheckpointManager:
         every_iterations: int | None = None,
         keep: int = 2,
         label: str = "",
+        config_key: str = "",
     ):
         if every_phases < 0:
             raise ValueError(f"every_phases must be >= 0, got {every_phases}")
@@ -327,6 +337,7 @@ class CheckpointManager:
         self.every_iterations = every_iterations or 0
         self.keep = keep
         self.label = label
+        self.config_key = config_key
         self._seq: int | None = None
 
     # -- cadence --------------------------------------------------------
@@ -416,6 +427,7 @@ class CheckpointManager:
                 label=self.label,
                 shards=shards,
                 directory=os.path.abspath(step_dir),
+                config_key=self.config_key,
             )
             _atomic_write_bytes(
                 os.path.join(step_dir, MANIFEST_NAME),
@@ -428,6 +440,7 @@ class CheckpointManager:
                         "size": manifest.size,
                         "version": manifest.version,
                         "label": manifest.label,
+                        "config_key": manifest.config_key,
                         "shards": [
                             {
                                 "rank": s.rank,

@@ -23,6 +23,7 @@ CATEGORIES = (
     "rebuild",          # distributed graph reconstruction
     "io",               # input reading
     "checkpoint",       # resilience: checkpoint save/load traffic and I/O
+    "service",          # detection service: engine-side overhead per job
     "other",
 )
 

@@ -1,0 +1,548 @@
+"""The detection engine: async job multiplexing over a bounded worker pool.
+
+``Engine`` is the serving tier the ROADMAP asks for: typed
+:class:`~repro.service.request.DetectionRequest` s go in, jobs move
+through ``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``, and many
+detections run concurrently — each worker drives its own simulated SPMD
+world, so an 8-worker engine multiplexes eight independent detections
+the way an inference server multiplexes model replicas.
+
+Reliability semantics:
+
+* **admission control / backpressure** — submissions beyond the queue
+  bound are rejected with a reason (:class:`AdmissionError`), never
+  buffered unboundedly;
+* **retry-with-resume** — a job whose ranks die mid-run (crash, injected
+  fault, lost message) is retried up to ``max_retries`` times; the
+  engine auto-checkpoints every job that allows retries into a per-job
+  directory, so each retry *resumes* from the last valid checkpoint
+  (PR-1 machinery) instead of recomputing finished phases;
+* **result caching** — cacheable requests are content-addressed
+  (graph fingerprint + canonical config hash) against the engine's
+  :class:`~repro.service.store.ResultStore`; a repeat submission is
+  served bit-identically without recomputation;
+* **cancellation** — pending jobs cancel immediately; running jobs
+  cancel best-effort (the in-flight SPMD world completes, its result is
+  discarded, and the job lands in CANCELLED).
+
+Timeouts: ``request.timeout`` caps each blocking runtime operation (a
+hung collective fails the attempt) and bounds the *retry* schedule — no
+attempt starts after the deadline.  A healthy-but-slow attempt already
+in flight is not killed mid-collective; like real MPI, there is no safe
+preemption point inside a rendezvous.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.distlouvain import run_louvain
+from ..core.dynamic import warm_start_assignment
+from ..core.result import LouvainResult
+from ..runtime.errors import (
+    CommTimeoutError,
+    InjectedFault,
+    RankFailedError,
+)
+from ..runtime.tracing import TraceReport
+from .metrics import ServiceMetrics
+from .request import DetectionRequest, DetectionResponse, JobState
+from .scheduler import AdmissionError, PriorityScheduler
+from .store import ResultStore
+
+__all__ = [
+    "Engine",
+    "Job",
+    "execute_request",
+]
+
+#: Exceptions that mark an *attempt* as failed but the job as retryable.
+RETRYABLE = (RankFailedError, InjectedFault, CommTimeoutError)
+
+#: Default per-blocking-op timeout (seconds) when a request sets none.
+DEFAULT_OP_TIMEOUT = 300.0
+
+_UNSET = object()
+
+
+def execute_request(
+    request: DetectionRequest,
+    *,
+    checkpoint_dir: str | None = None,
+    checkpoint_every_iterations: int | None = None,
+    resume: bool | None = None,
+    fault_plan: object = _UNSET,
+) -> LouvainResult:
+    """Run one request synchronously; the single unified execution path.
+
+    Every way into the library — ``Engine`` workers, the inline
+    :func:`repro.service.detect` facade, and the deprecated legacy
+    wrappers — funnels through here, so request semantics are defined
+    once.  The keyword overrides exist for the engine's retry machinery
+    (per-job checkpoint directory, resume-on-retry, dropping a fired
+    fault plan); plain callers never pass them.
+    """
+    ckpt = checkpoint_dir if checkpoint_dir is not None else request.checkpoint_dir
+    every_iters = (
+        checkpoint_every_iterations
+        if checkpoint_every_iterations is not None
+        else request.checkpoint_every_iterations
+    )
+    do_resume = (request.mode == "resume") if resume is None else resume
+    plan = request.fault_plan if fault_plan is _UNSET else fault_plan
+    seed = None
+    if request.mode == "incremental":
+        assert request.previous_assignment is not None  # __post_init__
+        seed = warm_start_assignment(
+            request.resolved_graph(),
+            request.previous_assignment,
+            reset_touched=request.reset_touched,
+        )
+    graph = None if do_resume else request.resolved_graph()
+    return run_louvain(
+        graph,  # type: ignore[arg-type]  # unused on the resume path
+        request.nranks,
+        request.config,
+        machine=request.machine,
+        partition=request.partition,
+        timeout=request.timeout or DEFAULT_OP_TIMEOUT,
+        initial_assignment=seed,
+        checkpoint_dir=ckpt,
+        checkpoint_every=request.checkpoint_every,
+        checkpoint_every_iterations=every_iters,
+        resume=do_resume,
+        fault_plan=plan,
+    )
+
+
+@dataclass
+class Job:
+    """Engine-internal bookkeeping for one submitted request."""
+
+    id: str
+    request: DetectionRequest
+    state: JobState = JobState.PENDING
+    result: LouvainResult | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    cache_key: str | None = None
+    retries: int = 0
+    resumed_from_checkpoint: bool = False
+    checkpoint_dir: str | None = None
+    ticket: int | None = None
+    cancel_requested: bool = False
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def response(self) -> DetectionResponse:
+        return DetectionResponse(
+            job_id=self.id,
+            state=self.state,
+            request=self.request,
+            result=self.result,
+            error=self.error,
+            cache_hit=self.cache_hit,
+            retries=self.retries,
+            resumed_from_checkpoint=self.resumed_from_checkpoint,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+        )
+
+
+class Engine:
+    """Asynchronous detection service over a bounded worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrently-running jobs (each runs its own simulated
+        SPMD world of ``request.nranks`` rank threads).
+    queue_depth:
+        Admission bound on *pending* jobs; beyond it, :meth:`submit`
+        raises :class:`AdmissionError` (backpressure, not buffering).
+    store:
+        Result cache; ``None`` disables caching entirely.
+    workdir:
+        Root for per-job checkpoint directories (auto-created temp dir
+        when omitted).  Jobs with ``max_retries > 0`` checkpoint here so
+        retries resume instead of restarting.
+    checkpoint_every_iterations:
+        Auto-checkpoint cadence for retryable jobs that did not choose
+        their own (iterations between mid-phase checkpoints).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        queue_depth: int = 64,
+        store: ResultStore | None = None,
+        workdir: str | os.PathLike | None = None,
+        checkpoint_every_iterations: int = 4,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.store = store
+        self.metrics = ServiceMetrics()
+        self.scheduler = PriorityScheduler(max_pending=queue_depth)
+        self.checkpoint_every_iterations = checkpoint_every_iterations
+        self._workdir = (
+            os.fspath(workdir)
+            if workdir is not None
+            else tempfile.mkdtemp(prefix="repro-engine-")
+        )
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"engine-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, request: DetectionRequest) -> str:
+        """Admit one job; returns its id immediately (non-blocking).
+
+        Raises :class:`AdmissionError` when the engine is shut down or
+        the pending queue is full — the caller owns the retry/shed
+        decision.  A cacheable request whose result is already stored
+        completes instantly as a cache hit without occupying a queue
+        slot.
+        """
+        if self._shutdown:
+            raise AdmissionError("closed", "engine is shut down")
+        job = Job(id=self._allocate_id(), request=request)
+        job.submitted_at = time.monotonic()
+        self.metrics.inc("submitted")
+
+        if self.store is not None and request.cacheable:
+            job.cache_key = request.cache_key()
+            cached = self.store.get(job.cache_key)
+            if cached is not None:
+                self.metrics.inc("cache_hits")
+                job.cache_hit = True
+                job.started_at = job.submitted_at
+                with self._lock:
+                    self._jobs[job.id] = job
+                self._finish(job, JobState.DONE, result=cached)
+                return job.id
+            self.metrics.inc("cache_misses")
+
+        if request.max_retries > 0 and request.checkpoint_dir is None:
+            # Auto-checkpoint so a retry can resume instead of restart.
+            job.checkpoint_dir = os.path.join(self._workdir, job.id)
+        else:
+            job.checkpoint_dir = request.checkpoint_dir
+
+        with self._lock:
+            self._jobs[job.id] = job
+        try:
+            job.ticket = self.scheduler.submit(job, priority=request.priority)
+        except AdmissionError as exc:
+            with self._lock:
+                del self._jobs[job.id]
+            self.metrics.inc("rejected")
+            self.metrics.inc(f"rejected_{exc.reason}")
+            raise
+        self.metrics.set_gauge("queue_depth", self.scheduler.depth())
+        return job.id
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Pending jobs cancel immediately; running jobs
+        best-effort (the in-flight run completes, its result is
+        discarded).  False if the job is already terminal."""
+        job = self._job(job_id)
+        if job.state is JobState.PENDING and job.ticket is not None:
+            if self.scheduler.cancel(job.ticket):
+                self.metrics.set_gauge("queue_depth", self.scheduler.depth())
+                self._finish(
+                    job, JobState.CANCELLED, error="cancelled while pending"
+                )
+                return True
+        if not job.state.terminal:
+            job.cancel_requested = True
+            return True
+        return False
+
+    def status(self, job_id: str) -> JobState:
+        return self._job(job_id).state
+
+    def response(self, job_id: str) -> DetectionResponse:
+        """Point-in-time view of a job (terminal or not)."""
+        return self._job(job_id).response()
+
+    def wait(
+        self, job_id: str, timeout: float | None = None
+    ) -> DetectionResponse:
+        """Block until the job is terminal (or ``timeout`` elapses)."""
+        job = self._job(job_id)
+        if not job.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {job_id} still {job.state.value} after {timeout}s"
+            )
+        return job.response()
+
+    def wait_all(
+        self,
+        job_ids: Sequence[str] | None = None,
+        timeout: float | None = None,
+    ) -> list[DetectionResponse]:
+        """Wait for the given jobs (default: every submitted job).
+
+        Responses come back in the order of ``job_ids`` (submission
+        order when defaulted).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if job_ids is None:
+            with self._lock:
+                ids = list(self._jobs)
+        else:
+            ids = list(job_ids)
+        out = []
+        for job_id in ids:
+            remaining = (
+                None if deadline is None else max(deadline - time.monotonic(), 0.0)
+            )
+            out.append(self.wait(job_id, timeout=remaining))
+        return out
+
+    def detect(
+        self, request: DetectionRequest, timeout: float | None = None
+    ) -> DetectionResponse:
+        """Synchronous convenience: submit and wait."""
+        return self.wait(self.submit(request), timeout=timeout)
+
+    def jobs(self) -> list[DetectionResponse]:
+        """Snapshot of every job, in submission order."""
+        with self._lock:
+            return [j.response() for j in self._jobs.values()]
+
+    def trace_report(self) -> TraceReport:
+        """Aggregate modelled-time trace across every completed job.
+
+        Concatenates the per-rank traces of every job that produced
+        one; ``seconds_by_category``/``format`` then describe the whole
+        served workload, extending the paper's §V-A breakdown from one
+        run to the fleet.
+        """
+        ranks = []
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if job.result is not None and job.result.trace is not None:
+                ranks.extend(job.result.trace.ranks)
+        return TraceReport.merge(ranks)
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop admitting work and (optionally) drain what is queued.
+
+        ``cancel_pending=True`` cancels everything still queued;
+        otherwise queued jobs are drained to completion first.  With
+        ``wait=True`` blocks until the workers exit.
+        """
+        self._shutdown = True
+        if cancel_pending:
+            for job in self.scheduler.drain():
+                self._finish(
+                    job, JobState.CANCELLED, error="engine shut down"
+                )
+        self.scheduler.close()
+        if wait:
+            for t in self._threads:
+                t.join()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocate_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"job-{self._next_id:04d}"
+
+    def _job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def _finish(
+        self,
+        job: Job,
+        state: JobState,
+        *,
+        result: LouvainResult | None = None,
+        error: str | None = None,
+    ) -> None:
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_at = time.monotonic()
+        self.metrics.inc(
+            {
+                JobState.DONE: "completed",
+                JobState.FAILED: "failed",
+                JobState.CANCELLED: "cancelled",
+            }[state]
+        )
+        if state is JobState.DONE and result is not None:
+            if job.started_at is not None:
+                self.metrics.observe_run_latency(
+                    job.finished_at - job.started_at
+                )
+            if not job.cache_hit:
+                # A hit re-serves stored work; only fresh runs add
+                # modelled time to the workload aggregate.
+                self.metrics.observe_trace(result.trace, result.elapsed)
+        job.done.set()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.scheduler.pop()
+            if job is None:  # closed and drained
+                return
+            self.metrics.set_gauge("queue_depth", self.scheduler.depth())
+            if job.cancel_requested:
+                self._finish(
+                    job, JobState.CANCELLED, error="cancelled while pending"
+                )
+                continue
+            job.state = JobState.RUNNING
+            job.started_at = time.monotonic()
+            self.metrics.observe_queue_latency(
+                job.started_at - job.submitted_at
+            )
+            self.metrics.adjust_gauge("running", +1)
+            try:
+                self._run_job(job)
+            finally:
+                self.metrics.adjust_gauge("running", -1)
+
+    def _run_job(self, job: Job) -> None:
+        request = job.request
+        deadline = (
+            job.submitted_at + request.timeout
+            if request.timeout is not None
+            else None
+        )
+        fault_plan: object = request.fault_plan
+        resume = request.mode == "resume"
+        while True:
+            try:
+                result = execute_request(
+                    request,
+                    checkpoint_dir=job.checkpoint_dir,
+                    checkpoint_every_iterations=(
+                        request.checkpoint_every_iterations
+                        or self.checkpoint_every_iterations
+                    ),
+                    resume=resume,
+                    fault_plan=fault_plan,
+                )
+            except RETRYABLE as exc:
+                job.retries += 1
+                if job.retries > request.max_retries:
+                    self._finish(
+                        job,
+                        JobState.FAILED,
+                        error=f"failed after {job.retries - 1} retr"
+                        f"{'y' if job.retries == 2 else 'ies'}: {exc!r}",
+                    )
+                    return
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._finish(
+                        job,
+                        JobState.FAILED,
+                        error=f"deadline exceeded after {exc!r}",
+                    )
+                    return
+                self.metrics.inc("retries")
+                # An injected fault fired; the retry models the post-crash
+                # world where the failure condition is gone.
+                fault_plan = None
+                resume = self._can_resume(job)
+                if resume:
+                    job.resumed_from_checkpoint = True
+                continue
+            except Exception as exc:  # non-retryable: bad request, bug, ...
+                self._finish(job, JobState.FAILED, error=repr(exc))
+                return
+            break
+        if job.cancel_requested:
+            self._finish(
+                job,
+                JobState.CANCELLED,
+                error="cancelled while running; result discarded",
+            )
+            return
+        if (
+            self.store is not None
+            and request.cacheable
+            and job.cache_key is not None
+        ):
+            self.store.put(job.cache_key, result)
+        self._finish(job, JobState.DONE, result=result)
+
+    def _can_resume(self, job: Job) -> bool:
+        """A retry resumes iff a valid checkpoint of this job exists."""
+        if job.checkpoint_dir is None:
+            return False
+        from ..resilience.checkpoint import latest_valid_manifest
+
+        return (
+            latest_valid_manifest(
+                job.checkpoint_dir, expect_size=job.request.nranks
+            )
+            is not None
+        )
+
+
+def detect(request: DetectionRequest) -> DetectionResponse:
+    """One-shot inline detection through the unified request API.
+
+    No queue, no worker pool, no cache — the request executes on the
+    calling thread via the same :func:`execute_request` path the engine
+    uses.  This is what the deprecated ``run_louvain`` /
+    ``incremental_louvain`` wrappers delegate to; prefer an
+    :class:`Engine` when serving more than one job.
+    """
+    response = DetectionResponse(
+        job_id="inline",
+        state=JobState.PENDING,
+        request=request,
+        submitted_at=time.monotonic(),
+    )
+    response.started_at = response.submitted_at
+    response.state = JobState.RUNNING
+    try:
+        response.result = execute_request(request)
+        response.state = JobState.DONE
+    except Exception as exc:
+        response.error = repr(exc)
+        response.state = JobState.FAILED
+        response.finished_at = time.monotonic()
+        raise
+    response.finished_at = time.monotonic()
+    return response

@@ -1,0 +1,164 @@
+"""Legacy entry points, re-expressed over the unified request API.
+
+The three historical front doors — ``run_louvain`` (one-shot batch),
+``distributed_louvain`` (per-rank SPMD body, incl. ``resume=``) and
+``incremental_louvain`` (warm-started re-detection) — live on as thin
+wrappers that build a :class:`~repro.service.DetectionRequest` and
+delegate to :func:`repro.service.detect`, emitting a
+:class:`DeprecationWarning` that documents the new spelling.  Old call
+sites keep working unchanged; new code should construct requests
+directly (and use an :class:`~repro.service.Engine` to serve more than
+one).
+
+The un-deprecated implementations remain importable from
+:mod:`repro.core` for the library's own internals.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+import numpy as np
+
+from ..core import distlouvain as _distlouvain
+from ..core.config import LouvainConfig
+from ..core.result import LouvainResult
+from ..runtime.perfmodel import CORI_HASWELL, MachineModel
+from .engine import detect
+from .request import DetectionRequest
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; use {new} "
+        "(see the README 'Serving' section)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_louvain(
+    g: Any,
+    nranks: int,
+    config: LouvainConfig | None = None,
+    *,
+    machine: MachineModel = CORI_HASWELL,
+    partition: str = "even_edge",
+    timeout: float = 300.0,
+    initial_assignment: np.ndarray | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    checkpoint_every_iterations: int | None = None,
+    resume: bool = False,
+    fault_plan: Any = None,
+) -> LouvainResult:
+    """Deprecated: build a :class:`DetectionRequest` and call
+    :func:`repro.service.detect` (or serve it via an Engine) instead."""
+    _deprecated(
+        "run_louvain",
+        "repro.detect(DetectionRequest(graph=g, config=..., nranks=...))",
+    )
+    if resume:
+        request = DetectionRequest(
+            config=config or LouvainConfig(),
+            nranks=nranks,
+            machine=machine,
+            partition=partition,
+            mode="resume",
+            timeout=timeout,
+            max_retries=0,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_every_iterations=checkpoint_every_iterations,
+            fault_plan=fault_plan,
+            use_cache=False,
+        )
+    else:
+        # An explicit warm start is the incremental mode's seed;
+        # plumb it through the request unchanged.
+        request = DetectionRequest(
+            graph=g,
+            config=config or LouvainConfig(),
+            nranks=nranks,
+            machine=machine,
+            partition=partition,
+            mode=(
+                "incremental" if initial_assignment is not None else "batch"
+            ),
+            previous_assignment=initial_assignment,
+            timeout=timeout,
+            max_retries=0,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_every_iterations=checkpoint_every_iterations,
+            fault_plan=fault_plan,
+            use_cache=False,
+        )
+    result = detect(request).result
+    assert result is not None  # detect() raises on failure
+    return result
+
+
+def distributed_louvain(
+    comm: Any,
+    dg: Any,
+    config: LouvainConfig | None = None,
+    initial_assignment: np.ndarray | None = None,
+    *,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    checkpoint_every_iterations: int | None = None,
+    resume: bool = False,
+) -> LouvainResult:
+    """Deprecated: the per-rank SPMD body is an internal; whole
+    detections go through the service API.  Forwards to
+    :func:`repro.core.distlouvain.distributed_louvain` unchanged (this
+    function runs *inside* ``run_spmd``, where the engine cannot wrap
+    it)."""
+    _deprecated(
+        "distributed_louvain",
+        "repro.detect / repro.Engine for whole detections "
+        "(repro.core.distributed_louvain inside custom SPMD programs)",
+    )
+    return _distlouvain.distributed_louvain(
+        comm,
+        dg,
+        config,
+        initial_assignment,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        checkpoint_every_iterations=checkpoint_every_iterations,
+        resume=resume,
+    )
+
+
+def incremental_louvain(
+    g_new: Any,
+    previous_assignment: np.ndarray,
+    nranks: int = 4,
+    config: LouvainConfig | None = None,
+    *,
+    machine: MachineModel = CORI_HASWELL,
+    reset_touched: np.ndarray | None = None,
+) -> LouvainResult:
+    """Deprecated: submit a ``mode="incremental"`` request instead."""
+    _deprecated(
+        "incremental_louvain",
+        'repro.detect(DetectionRequest(mode="incremental", '
+        "previous_assignment=..., ...))",
+    )
+    request = DetectionRequest(
+        graph=g_new,
+        config=config or LouvainConfig(),
+        nranks=nranks,
+        machine=machine,
+        mode="incremental",
+        previous_assignment=np.asarray(previous_assignment, dtype=np.int64),
+        reset_touched=reset_touched,
+        max_retries=0,
+        use_cache=False,
+    )
+    result = detect(request).result
+    assert result is not None
+    return result

@@ -1,0 +1,189 @@
+"""Service observability: counters, gauges, and latency histograms.
+
+Everything the engine does is counted here — submissions, completions
+by terminal state, rejections by reason, cache hits/misses, retries —
+plus two latency histograms (submit->start and start->done wall-clock
+seconds) and live gauges (queue depth, running jobs).  A
+:meth:`ServiceMetrics.snapshot` is a plain JSON-able dict, so the CLI
+can dump it and tests can assert on it.
+
+The per-job :class:`~repro.runtime.tracing.TraceReport`\\ s also merge
+in (:meth:`ServiceMetrics.observe_trace`), extending the paper's §V-A
+breakdown across the whole served workload: the snapshot carries the
+aggregate modelled seconds per category (compute, ghost_comm, …,
+checkpoint) summed over every completed job.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import Counter
+
+from ..runtime.tracing import TraceReport
+
+#: Default latency bucket upper bounds, seconds (log-ish spacing wide
+#: enough for both sub-second simulated jobs and multi-minute real ones).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 300.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of seconds (cumulative, Prometheus-style)."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("buckets must be strictly increasing")
+        self.bounds = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +inf overflow
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency {seconds}")
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.total += seconds
+        self.count += 1
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, n in zip(self.bounds, self.counts):
+            seen += n
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                str(b): c for b, c in zip(self.bounds, self.counts)
+            }
+            | {"+inf": self.counts[-1]},
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe metric registry for one :class:`~repro.service.Engine`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Counter[str] = Counter()
+        self.gauges: dict[str, int] = {"queue_depth": 0, "running": 0}
+        self.queue_latency = LatencyHistogram()
+        self.run_latency = LatencyHistogram()
+        self._trace_seconds: Counter[str] = Counter()
+        self._trace_collectives: Counter[str] = Counter()
+        self._modelled_seconds = 0.0
+
+    # -- counters / gauges ----------------------------------------------
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self.counters[name] += by
+
+    def set_gauge(self, name: str, value: int) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def adjust_gauge(self, name: str, by: int) -> None:
+        with self._lock:
+            self.gauges[name] = self.gauges.get(name, 0) + by
+
+    # -- latencies ------------------------------------------------------
+    def observe_queue_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.queue_latency.observe(seconds)
+
+    def observe_run_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.run_latency.observe(seconds)
+
+    # -- trace merge ----------------------------------------------------
+    def observe_trace(self, trace: TraceReport | None, elapsed: float) -> None:
+        """Fold one completed job's trace into the workload aggregate."""
+        with self._lock:
+            self._modelled_seconds += elapsed
+            if trace is None:
+                return
+            self._trace_seconds.update(trace.seconds_by_category())
+            self._trace_collectives.update(trace.collective_counts())
+
+    # -- export ---------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            hits = self.counters["cache_hits"]
+            misses = self.counters["cache_misses"]
+        looked = hits + misses
+        return hits / looked if looked else 0.0
+
+    def snapshot(self) -> dict:
+        """One consistent JSON-able view of everything."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "cache_hit_rate": (
+                    self.counters["cache_hits"]
+                    / max(
+                        self.counters["cache_hits"]
+                        + self.counters["cache_misses"],
+                        1,
+                    )
+                ),
+                "latency": {
+                    "queue_seconds": self.queue_latency.snapshot(),
+                    "run_seconds": self.run_latency.snapshot(),
+                },
+                "modelled": {
+                    "total_seconds": self._modelled_seconds,
+                    "seconds_by_category": dict(self._trace_seconds),
+                    "collective_counts": dict(self._trace_collectives),
+                },
+            }
+
+    def format(self) -> str:
+        """Human-readable one-screen summary."""
+        snap = self.snapshot()
+        lines = ["service metrics:"]
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name:<22} {snap['counters'][name]}")
+        lines.append(f"  {'cache_hit_rate':<22} {snap['cache_hit_rate']:.1%}")
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(f"  {name:<22} {value} (gauge)")
+        for label, key in (
+            ("queue wait", "queue_seconds"),
+            ("run time", "run_seconds"),
+        ):
+            h = snap["latency"][key]
+            lines.append(
+                f"  {label:<11} n={h['count']} mean={h['mean']:.3f}s "
+                f"p50<={h['p50']:.3f}s p99<={h['p99']:.3f}s "
+                f"max={h['max']:.3f}s"
+            )
+        cats = snap["modelled"]["seconds_by_category"]
+        if cats:
+            total = sum(cats.values()) or 1.0
+            lines.append("  modelled seconds by category (all jobs):")
+            for cat, sec in sorted(cats.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {cat:<16} {sec:>12.6f}s  {sec/total:6.1%}")
+        return "\n".join(lines)

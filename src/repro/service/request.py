@@ -1,0 +1,266 @@
+"""Typed request/response pair: the one way into the detection engine.
+
+A :class:`DetectionRequest` captures *everything* a detection needs —
+input graph (in memory or on disk), algorithm config, world size,
+machine model, service-level knobs (priority, timeout, retries) — so
+the three historical entry points (``run_louvain``,
+``distributed_louvain(resume=...)``, ``incremental_louvain``) collapse
+into one typed surface the scheduler can reason about.  A
+:class:`DetectionResponse` is what comes back: terminal job state, the
+result (or the failure), and the service-side timings.
+
+Requests are content-addressable: :meth:`DetectionRequest.cache_key`
+combines the graph fingerprint with the config's canonical hash so the
+result store can serve a repeated submission without recomputing it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.config import LouvainConfig
+from ..core.result import LouvainResult
+from ..graph.csr import CSRGraph
+from ..runtime.perfmodel import CORI_HASWELL, MachineModel
+
+#: Detection modes a request may ask for.
+MODES = ("batch", "incremental", "resume")
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one job inside the engine.
+
+    ``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``; a PENDING job
+    may also go straight to DONE (cache hit) or CANCELLED.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class DetectionRequest:
+    """One community-detection job, fully described.
+
+    Exactly one of ``graph`` / ``graph_path`` must be set, except in
+    ``mode="resume"`` where the graph slice comes from the checkpoint
+    and both may be omitted.
+
+    Service-level fields (``priority``, ``timeout``, ``max_retries``,
+    ``use_cache``, ``tag``) steer the engine and never affect the
+    detection outcome, so they are outside :meth:`cache_key`.
+    """
+
+    #: In-memory input graph (CSR).
+    graph: CSRGraph | None = None
+    #: Or: path to a binary edge-list file, loaded at execution time.
+    graph_path: str | None = None
+    config: LouvainConfig = field(default_factory=LouvainConfig)
+    nranks: int = 4
+    machine: MachineModel = CORI_HASWELL
+    partition: str = "even_edge"
+    #: "batch" (one-shot), "incremental" (warm-started re-detection from
+    #: ``previous_assignment``), or "resume" (continue from the latest
+    #: valid checkpoint in ``checkpoint_dir``).
+    mode: str = "batch"
+    #: Incremental mode: community per old vertex from the previous run.
+    previous_assignment: np.ndarray | None = None
+    #: Incremental mode: vertex ids to reset to singletons (typically
+    #: ``EdgeChurn.touched_vertices()``).
+    reset_touched: np.ndarray | None = None
+    #: Service-level priority: higher runs first (FIFO within a level).
+    priority: int = 0
+    #: Wall-clock deadline in seconds for the whole job (attempts are
+    #: not retried past it); also caps each blocking runtime op.
+    timeout: float | None = None
+    #: Transparent retries on rank failure.  Each attempt after the
+    #: first resumes from the job's latest valid checkpoint when one
+    #: exists (the engine auto-assigns a checkpoint directory).
+    max_retries: int = 1
+    #: Explicit checkpoint directory (required for ``mode="resume"``;
+    #: otherwise optional — the engine manages a per-job one).
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    checkpoint_every_iterations: int | None = None
+    #: Deterministic fault-injection plan (tests / chaos drills); makes
+    #: the request uncacheable.
+    fault_plan: Any = None
+    #: Serve (and populate) the engine's result store for this request.
+    use_cache: bool = True
+    #: Free-form client label carried through to the response.
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        have_graph = self.graph is not None
+        have_path = self.graph_path is not None
+        if self.mode == "resume":
+            if self.checkpoint_dir is None:
+                raise ValueError('mode="resume" requires checkpoint_dir')
+            if have_graph or have_path:
+                raise ValueError(
+                    'mode="resume" takes its graph from the checkpoint; '
+                    "do not pass graph/graph_path"
+                )
+        elif have_graph == have_path:
+            raise ValueError(
+                "exactly one of graph / graph_path must be set "
+                f"(got graph={'yes' if have_graph else 'no'}, "
+                f"graph_path={'yes' if have_path else 'no'})"
+            )
+        if self.mode == "incremental" and self.previous_assignment is None:
+            raise ValueError(
+                'mode="incremental" requires previous_assignment'
+            )
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    @property
+    def cacheable(self) -> bool:
+        """Whether this request is deterministic and content-addressable.
+
+        Resume requests depend on whatever checkpoint happens to be on
+        disk, and fault-injected runs are chaos drills — neither may be
+        served from (or stored into) the result cache.
+        """
+        return (
+            self.use_cache
+            and self.mode != "resume"
+            and self.fault_plan is None
+        )
+
+    def cache_key(self) -> str | None:
+        """Content hash of (input graph, config, execution shape).
+
+        ``None`` for uncacheable requests.  The graph contributes its
+        CSR fingerprint (``graph_path`` inputs are fingerprinted after
+        loading, so the same bytes hash equal either way); the config
+        contributes :meth:`LouvainConfig.cache_key`; ``nranks``,
+        ``partition``, and the machine model are included because they
+        change the result's assignment/trace/elapsed; incremental
+        requests mix in the warm-start labels.
+        """
+        if not self.cacheable:
+            return None
+        g = self.resolved_graph()
+        h = hashlib.sha256()
+        h.update(g.fingerprint().encode())
+        h.update(self.config.cache_key().encode())
+        h.update(f"|{self.nranks}|{self.partition}|{self.mode}|".encode())
+        h.update(
+            json.dumps(
+                dataclasses.asdict(self.machine), sort_keys=True
+            ).encode()
+        )
+        if self.mode == "incremental":
+            h.update(
+                np.asarray(self.previous_assignment, dtype=np.int64).tobytes()
+            )
+            if self.reset_touched is not None:
+                h.update(
+                    np.asarray(self.reset_touched, dtype=np.int64).tobytes()
+                )
+        return h.hexdigest()
+
+    def resolved_graph(self) -> CSRGraph:
+        """The input CSR graph, loading ``graph_path`` if necessary."""
+        if self.graph is not None:
+            return self.graph
+        if self.graph_path is None:
+            raise ValueError("resume request carries no input graph")
+        from ..graph.binio import read_edgelist
+
+        g = read_edgelist(self.graph_path).to_csr()
+        # Cache the load on the (frozen) request so repeated key
+        # computations and the execution itself read the file once.
+        object.__setattr__(self, "graph", g)
+        return g
+
+    def describe(self) -> str:
+        src = self.graph_path or (
+            f"<in-memory {self.graph.num_vertices}v>" if self.graph is not None
+            else "<checkpoint>"
+        )
+        return (
+            f"{self.config.label()} x{self.nranks} on {src} "
+            f"[mode={self.mode} prio={self.priority}"
+            + (f" tag={self.tag}" if self.tag else "")
+            + "]"
+        )
+
+
+@dataclass
+class DetectionResponse:
+    """Terminal view of one job, handed back by the engine."""
+
+    job_id: str
+    state: JobState
+    request: DetectionRequest
+    result: LouvainResult | None = None
+    #: Failure description (FAILED) or cancellation note (CANCELLED).
+    error: str | None = None
+    #: Served from the result store without recomputation.
+    cache_hit: bool = False
+    #: Completed retry attempts (0 = succeeded first try).
+    retries: int = 0
+    #: Whether any retry resumed from a checkpoint (vs restarting).
+    resumed_from_checkpoint: bool = False
+    #: Wall-clock timestamps (``time.monotonic`` domain).
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def queue_seconds(self) -> float | None:
+        """Submit -> start latency (None if never started)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Start -> done latency (None if never started/finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def summary(self) -> str:
+        parts = [f"job {self.job_id}: {self.state.value}"]
+        if self.cache_hit:
+            parts.append("(cache hit)")
+        if self.retries:
+            parts.append(
+                f"(retried x{self.retries}"
+                + (", resumed from checkpoint" if self.resumed_from_checkpoint
+                   else ", restarted")
+                + ")"
+            )
+        if self.result is not None:
+            parts.append(self.result.summary())
+        if self.error:
+            parts.append(f"error: {self.error}")
+        return " ".join(parts)

@@ -1,0 +1,155 @@
+"""Admission-controlled priority queue feeding the engine's worker pool.
+
+The scheduler is the backpressure point of the service: it holds at
+most ``max_pending`` jobs, orders them by (priority desc, submission
+order asc) — so equal-priority jobs are served fairly, FIFO — and
+*rejects* submissions beyond capacity with a reason string instead of
+queueing unboundedly (:class:`AdmissionError`).  Rejecting at the edge
+is what lets a loaded service stay within its latency envelope; callers
+see the reason and can retry with backoff or shed load themselves.
+
+Thread-safe; producers (``Engine.submit``) and consumers (worker
+threads) may call concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any
+
+
+class AdmissionError(RuntimeError):
+    """A submission was rejected at the door (never enqueued).
+
+    ``reason`` is a machine-readable slug (``"queue-full"``,
+    ``"closed"``); the message carries the human-readable detail.
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(detail)
+        self.reason = reason
+
+
+class PriorityScheduler:
+    """Bounded priority queue with admission control.
+
+    Parameters
+    ----------
+    max_pending:
+        Queue capacity.  A submission arriving when ``depth() ==
+        max_pending`` raises :class:`AdmissionError` with reason
+        ``"queue-full"``.
+    """
+
+    def __init__(self, max_pending: int = 64):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._heap: list[tuple[int, int, Any]] = []
+        self._cancelled: set[int] = set()
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, item: Any, priority: int = 0) -> int:
+        """Enqueue ``item``; returns its admission ticket (a sequence id).
+
+        Raises :class:`AdmissionError` when the queue is full or the
+        scheduler is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise AdmissionError(
+                    "closed", "scheduler is shut down; no new jobs accepted"
+                )
+            if self._live_depth() >= self.max_pending:
+                raise AdmissionError(
+                    "queue-full",
+                    f"admission queue is full ({self.max_pending} pending); "
+                    "retry later or raise max_pending",
+                )
+            ticket = next(self._seq)
+            # Min-heap: negate priority so higher priority pops first;
+            # the ticket breaks ties in submission order (FIFO fairness).
+            heapq.heappush(self._heap, (-priority, ticket, item))
+            self._available.notify()
+            return ticket
+
+    def cancel(self, ticket: int) -> bool:
+        """Remove a pending entry (lazy deletion); False if already gone."""
+        with self._lock:
+            live = {t for _, t, _ in self._heap} - self._cancelled
+            if ticket not in live:
+                return False
+            self._cancelled.add(ticket)
+            return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def pop(self, timeout: float | None = None) -> Any | None:
+        """Highest-priority pending item; blocks until one is available.
+
+        Returns ``None`` when the scheduler is closed and drained, or
+        when ``timeout`` (seconds) expires with nothing available.
+        """
+        with self._lock:
+            while True:
+                entry = self._pop_live_locked()
+                if entry is not None:
+                    return entry
+                if self._closed:
+                    return None
+                if not self._available.wait(timeout=timeout):
+                    return None
+
+    def _pop_live_locked(self) -> Any | None:
+        while self._heap:
+            _, ticket, item = heapq.heappop(self._heap)
+            if ticket in self._cancelled:
+                self._cancelled.discard(ticket)
+                continue
+            return item
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def _live_depth(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def depth(self) -> int:
+        """Pending (admitted, not yet popped, not cancelled) jobs."""
+        with self._lock:
+            return self._live_depth()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked consumer.
+
+        Already-admitted jobs remain poppable so a graceful shutdown
+        can drain them.
+        """
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    def drain(self) -> list[Any]:
+        """Remove and return every pending item (e.g. to cancel on stop)."""
+        with self._lock:
+            out = []
+            while True:
+                entry = self._pop_live_locked()
+                if entry is None:
+                    break
+                out.append(entry)
+            return out

@@ -186,3 +186,76 @@ class TestParser:
     def test_bad_variant_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["detect", "x.bin", "--variant", "magic"])
+
+
+class TestServiceCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.graph import write_edgelist
+
+        g = planted_blocks_graph(
+            blocks=4, per_block=10, p_in=0.8, inter_edges=6, seed=3
+        )
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+        return path
+
+    def test_submit_basic(self, tmp_path, capsys, graph_file):
+        npz = str(tmp_path / "r.npz")
+        rc = main([
+            "submit", graph_file, "--ranks", "2", "--seed", "1",
+            "--save", npz,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert load_result(npz).num_communities > 0
+
+    def test_submit_disk_cache_hit(self, tmp_path, capsys, graph_file):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "submit", graph_file, "--ranks", "2", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hit" not in first
+        # A second process-level invocation is served from disk.
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_serve_jobs_file(self, tmp_path, capsys, graph_file):
+        import json
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"graph": graph_file, "ranks": 2, "tag": "a"},
+            {"graph": graph_file, "ranks": 2, "repeat": 2,
+             "config": {"seed": 1}, "priority": 5, "tag": "b"},
+        ]))
+        metrics_file = str(tmp_path / "m.json")
+        rc = main([
+            "serve", str(jobs), "--workers", "2",
+            "--metrics", metrics_file,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("done") >= 3
+        assert "service metrics" in out
+        snapshot = json.loads(open(metrics_file).read())
+        assert snapshot["counters"]["completed"] == 3
+
+    def test_serve_bad_config_key(self, tmp_path, capsys, graph_file):
+        import json
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            {"graph": graph_file, "config": {"warp_speed": True}},
+        ]))
+        assert main(["serve", str(jobs)]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_serve_rejects_non_list(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text('{"graph": "x"}')
+        assert main(["serve", str(jobs)]) == 2

@@ -109,3 +109,78 @@ class TestLouvainConfig:
         cfg = LouvainConfig()
         with pytest.raises(AttributeError):
             cfg.tau = 0.5
+
+
+class TestConfigSerialization:
+    def test_round_trip_defaults(self):
+        cfg = LouvainConfig()
+        assert LouvainConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_round_trip_nondefault(self):
+        cfg = LouvainConfig(
+            variant=Variant.ET_TC,
+            alpha=0.25,
+            tau=1e-4,
+            threshold_cycle=((1e-2, 2), (1e-5, 4)),
+            seed=9,
+            use_coloring=True,
+        )
+        assert LouvainConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        blob = json.dumps(LouvainConfig(variant=Variant.ETC).to_dict())
+        assert '"etc"' in blob
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            LouvainConfig.from_dict({"tau": 1e-6, "warp_speed": True})
+
+    def test_from_dict_partial_uses_defaults(self):
+        cfg = LouvainConfig.from_dict({"seed": 42})
+        assert cfg.seed == 42
+        assert cfg.tau == LouvainConfig().tau
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert LouvainConfig().cache_key() == LouvainConfig().cache_key()
+
+    def test_default_equal_configs_equal_keys(self):
+        explicit = LouvainConfig(tau=LouvainConfig().tau, seed=LouvainConfig().seed)
+        assert explicit.cache_key() == LouvainConfig().cache_key()
+
+    def test_variant_changes_key(self):
+        assert (
+            LouvainConfig(variant=Variant.ET).cache_key()
+            != LouvainConfig(variant=Variant.ETC).cache_key()
+        )
+
+    def test_alpha_changes_key(self):
+        a = LouvainConfig(variant=Variant.ET, alpha=0.25)
+        b = LouvainConfig(variant=Variant.ET, alpha=0.75)
+        assert a.cache_key() != b.cache_key()
+
+    def test_seed_changes_key(self):
+        assert LouvainConfig(seed=1).cache_key() != LouvainConfig(seed=2).cache_key()
+
+    def test_transport_knobs_do_not_change_key(self):
+        # Transport ablations are proven bit-identical; serving a pull
+        # result for a push request is correct.
+        base = LouvainConfig()
+        for knob in (
+            "use_neighbor_collectives",
+            "ghost_delta_updates",
+            "community_push_updates",
+        ):
+            flipped = LouvainConfig(
+                **{knob: not getattr(base, knob)}
+            )
+            assert flipped.cache_key() == base.cache_key(), knob
+
+    def test_validate_invariants_does_not_change_key(self):
+        assert (
+            LouvainConfig(validate_invariants=True).cache_key()
+            == LouvainConfig(validate_invariants=False).cache_key()
+        )

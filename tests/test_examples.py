@@ -57,6 +57,16 @@ def test_scaling_study():
     assert "extrapolated strong scaling" in proc.stdout
 
 
+def test_service_demo():
+    proc = run_example("service_demo.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "concurrent jobs: 20/20 done, 0 lost" in proc.stdout
+    assert "resumed from checkpoint" in proc.stdout
+    assert "recovered result bit-identical to uninterrupted run: True" in proc.stdout
+    assert "(cache hit)" in proc.stdout
+    assert "cached result bit-identical to original: True" in proc.stdout
+
+
 def test_checkpoint_resume():
     proc = run_example("checkpoint_resume.py")
     assert proc.returncode == 0, proc.stderr

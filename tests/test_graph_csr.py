@@ -150,3 +150,28 @@ class TestRelabel:
         g = small_graph()
         with pytest.raises(ValueError):
             g.relabel(np.arange(3))
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert small_graph().fingerprint() == small_graph().fingerprint()
+
+    def test_hex_sha256(self):
+        fp = small_graph().fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # must be hex
+
+    def test_weight_changes_fingerprint(self):
+        a = CSRGraph.from_edges(3, [0, 1], [1, 2], [1.0, 1.0])
+        b = CSRGraph.from_edges(3, [0, 1], [1, 2], [1.0, 2.0])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_structure_changes_fingerprint(self):
+        a = CSRGraph.from_edges(3, [0, 1], [1, 2])
+        b = CSRGraph.from_edges(3, [0, 0], [1, 2])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_isolated_vertex_changes_fingerprint(self):
+        a = CSRGraph.from_edges(3, [0, 1], [1, 2])
+        b = CSRGraph.from_edges(4, [0, 1], [1, 2])
+        assert a.fingerprint() != b.fingerprint()

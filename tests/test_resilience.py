@@ -6,6 +6,7 @@ to an uninterrupted run.
 """
 
 import os
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -231,3 +232,33 @@ class TestFaultInjection:
             FaultPlan.seeded(0, size=0)
         with pytest.raises(ValueError):
             FaultPlan.seeded(0, size=2, min_step=5, max_step=4)
+
+
+class TestConfigKeyGuard:
+    def test_cross_config_resume_refused(self, tmp_path):
+        """A checkpoint written under one config must not seed a resume
+        under semantically different settings."""
+        g, cfg = _graph(), _config()
+        d = str(tmp_path / "ck")
+        _crash(g, 2, cfg, d, FaultPlan(kills={1: 40}))
+        other = LouvainConfig(variant=Variant.BASELINE, seed=99)
+        with pytest.raises((ValueError, RankFailedError), match="config"):
+            run_louvain(g, 2, other, checkpoint_dir=d, resume=True)
+
+    def test_transport_knob_change_still_resumes(self, tmp_path):
+        """Transport ablations are outside the config key: resuming a
+        pull-transport checkpoint with push transport is legal."""
+        g, cfg = _graph(), _config()
+        ref = run_louvain(g, 2, cfg)
+        d = str(tmp_path / "ck")
+        _crash(g, 2, cfg, d, FaultPlan(kills={1: 40}))
+        push_cfg = replace(cfg, community_push_updates=True)
+        res = run_louvain(g, 2, push_cfg, checkpoint_dir=d, resume=True)
+        np.testing.assert_array_equal(ref.assignment, res.assignment)
+
+    def test_manifest_records_config_key(self, tmp_path):
+        g, cfg = _graph(), _config()
+        d = str(tmp_path / "ck")
+        run_louvain(g, 2, cfg, checkpoint_dir=d)
+        manifest = latest_valid_manifest(d, expect_size=2)
+        assert manifest.config_key == cfg.cache_key()

@@ -1,0 +1,119 @@
+"""Unit tests for the service priority scheduler and admission control."""
+
+import threading
+
+import pytest
+
+from repro.service import AdmissionError, PriorityScheduler
+
+
+class TestPriorityOrder:
+    def test_higher_priority_pops_first(self):
+        s = PriorityScheduler(max_pending=8)
+        s.submit("low", priority=0)
+        s.submit("high", priority=5)
+        s.submit("mid", priority=2)
+        assert s.pop() == "high"
+        assert s.pop() == "mid"
+        assert s.pop() == "low"
+
+    def test_fifo_within_priority_level(self):
+        s = PriorityScheduler(max_pending=16)
+        for i in range(10):
+            s.submit(f"job-{i}", priority=1)
+        assert [s.pop() for _ in range(10)] == [f"job-{i}" for i in range(10)]
+
+    def test_interleaved_levels_stay_fifo(self):
+        s = PriorityScheduler(max_pending=16)
+        s.submit("a0", priority=0)
+        s.submit("b1", priority=1)
+        s.submit("c0", priority=0)
+        s.submit("d1", priority=1)
+        assert [s.pop() for _ in range(4)] == ["b1", "d1", "a0", "c0"]
+
+    def test_negative_priority_sorts_last(self):
+        s = PriorityScheduler(max_pending=8)
+        s.submit("background", priority=-1)
+        s.submit("normal", priority=0)
+        assert s.pop() == "normal"
+        assert s.pop() == "background"
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejected_with_reason(self):
+        s = PriorityScheduler(max_pending=2)
+        s.submit("a")
+        s.submit("b")
+        with pytest.raises(AdmissionError) as exc:
+            s.submit("c")
+        assert exc.value.reason == "queue-full"
+        assert "2" in str(exc.value)
+
+    def test_pop_frees_capacity(self):
+        s = PriorityScheduler(max_pending=1)
+        s.submit("a")
+        assert s.pop() == "a"
+        s.submit("b")  # must not raise
+        assert s.depth() == 1
+
+    def test_closed_queue_rejected(self):
+        s = PriorityScheduler(max_pending=4)
+        s.close()
+        with pytest.raises(AdmissionError) as exc:
+            s.submit("a")
+        assert exc.value.reason == "closed"
+
+    def test_high_priority_not_exempt_from_backpressure(self):
+        s = PriorityScheduler(max_pending=1)
+        s.submit("a", priority=0)
+        with pytest.raises(AdmissionError):
+            s.submit("urgent", priority=100)
+
+
+class TestCancel:
+    def test_cancelled_ticket_never_pops(self):
+        s = PriorityScheduler(max_pending=8)
+        t1 = s.submit("a")
+        s.submit("b")
+        assert s.cancel(t1)
+        assert s.pop() == "b"
+        assert s.pop(timeout=0.01) is None
+
+    def test_cancel_frees_capacity(self):
+        s = PriorityScheduler(max_pending=1)
+        t = s.submit("a")
+        s.cancel(t)
+        s.submit("b")  # must not raise
+        assert s.pop() == "b"
+
+    def test_cancel_unknown_ticket_is_false(self):
+        s = PriorityScheduler(max_pending=4)
+        t = s.submit("a")
+        assert s.pop() == "a"
+        assert not s.cancel(t)
+
+
+class TestPopBlocking:
+    def test_pop_timeout_returns_none(self):
+        s = PriorityScheduler(max_pending=4)
+        assert s.pop(timeout=0.02) is None
+
+    def test_pop_wakes_on_submit(self):
+        s = PriorityScheduler(max_pending=4)
+        got = []
+
+        def consumer():
+            got.append(s.pop(timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        s.submit("wake")
+        t.join(timeout=5.0)
+        assert got == ["wake"]
+
+    def test_close_drains_then_none(self):
+        s = PriorityScheduler(max_pending=4)
+        s.submit("last")
+        s.close()
+        assert s.pop() == "last"
+        assert s.pop() is None

@@ -1,0 +1,95 @@
+"""Unit tests for the content-addressed result store (LRU + disk tier)."""
+
+import numpy as np
+
+from repro.core import LouvainConfig
+from repro.core.distlouvain import run_louvain
+from repro.generators import make_graph
+from repro.service import ResultStore
+
+
+def _result(seed=0):
+    g = make_graph("soc-friendster", scale="tiny")
+    return run_louvain(g, 2, LouvainConfig(seed=seed))
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.assignment, b.assignment)
+    assert a.modularity == b.modularity
+    assert a.elapsed == b.elapsed
+    assert a.num_phases == b.num_phases
+
+
+class TestMemoryTier:
+    def test_put_get_round_trip(self):
+        store = ResultStore(capacity=4)
+        r = _result()
+        store.put("k1", r)
+        got = store.get("k1")
+        assert got is not None
+        _assert_identical(got, r)
+
+    def test_get_returns_copy(self):
+        store = ResultStore(capacity=4)
+        store.put("k1", _result())
+        a = store.get("k1")
+        a.assignment[:] = -1
+        b = store.get("k1")
+        assert b.assignment.min() >= 0, "cached entry was mutated via a hit"
+
+    def test_miss_counts(self):
+        store = ResultStore(capacity=4)
+        assert store.get("absent") is None
+        stats = store.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+
+    def test_lru_evicts_oldest(self):
+        store = ResultStore(capacity=2)
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)
+        store.put("c", r)
+        assert "a" not in store
+        assert "b" in store and "c" in store
+        assert store.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self):
+        store = ResultStore(capacity=2)
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)
+        assert store.get("a") is not None  # a is now most-recent
+        store.put("c", r)  # evicts b, not a
+        assert "a" in store and "b" not in store
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        r = _result()
+        store1 = ResultStore(capacity=4, directory=str(tmp_path))
+        store1.put("k1", r)
+
+        store2 = ResultStore(capacity=4, directory=str(tmp_path))
+        got = store2.get("k1")
+        assert got is not None
+        _assert_identical(got, r)
+
+    def test_disk_survives_memory_eviction(self, tmp_path):
+        store = ResultStore(capacity=1, directory=str(tmp_path))
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)  # evicts "a" from memory; disk copy remains
+        got = store.get("a")
+        assert got is not None
+        _assert_identical(got, r)
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        store = ResultStore(capacity=4, directory=str(tmp_path))
+        r0, r1 = _result(seed=0), _result(seed=1)
+        store.put("k0", r0)
+        store.put("k1", r1)
+        _assert_identical(store.get("k0"), r0)
+        _assert_identical(store.get("k1"), r1)
+        assert len(store) == 2
+        assert set(store.keys()) == {"k0", "k1"}
