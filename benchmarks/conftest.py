@@ -36,3 +36,21 @@ def record_result(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return _record
+
+
+@pytest.fixture
+def record_bench():
+    """Append one structured record to ``BENCH_<name>.json`` (repo root).
+
+    The machine-readable counterpart of :func:`record_result`: the text
+    block is for humans, the JSON record is for CI trend tracking (see
+    :mod:`repro.bench.record`).
+    """
+    import time
+
+    from repro.bench import append_bench_record
+
+    def _record(name: str, record: dict) -> None:
+        append_bench_record(name, {"timestamp": time.time(), **record})
+
+    return _record

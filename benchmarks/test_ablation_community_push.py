@@ -68,9 +68,26 @@ def collect():
     return rows
 
 
-def test_ablation_community_push(benchmark, record_result):
+def test_ablation_community_push(benchmark, record_result, record_bench):
     rows = benchmark.pedantic(
         collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    record_bench(
+        "ablation_community_push",
+        {
+            "rows": [
+                {
+                    "graph": name,
+                    "ranks": p,
+                    "pull_seconds": pull_s,
+                    "push_seconds": push_s,
+                    "gain_percent": gain,
+                    "pull_collectives_per_iter": pull_pi,
+                    "push_collectives_per_iter": push_pi,
+                }
+                for name, p, pull_s, push_s, gain, pull_pi, push_pi in rows
+            ]
+        },
     )
     record_result(
         "ablation_community_push",

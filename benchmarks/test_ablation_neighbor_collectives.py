@@ -51,7 +51,7 @@ def collect():
     return rows
 
 
-def test_ablation_neighbor_collectives(benchmark, record_result):
+def test_ablation_neighbor_collectives(benchmark, record_result, record_bench):
     rows = benchmark.pedantic(
         collect, rounds=1, iterations=1, warmup_rounds=0
     )
@@ -63,6 +63,21 @@ def test_ablation_neighbor_collectives(benchmark, record_result):
             rows,
             title="Ablation — ghost exchange transport (§VI future work)",
         ),
+    )
+    record_bench(
+        "ablation_neighbor_collectives",
+        {
+            "rows": [
+                {
+                    "graph": name,
+                    "ranks": p,
+                    "dense_seconds": dense,
+                    "neighborhood_seconds": neigh,
+                    "gain_percent": gain,
+                }
+                for name, p, dense, neigh, gain in rows
+            ]
+        },
     )
     # Results are identical (asserted in collect); the neighbourhood
     # transport is never slower.

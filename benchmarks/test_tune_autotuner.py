@@ -1,0 +1,108 @@
+"""Autotuner demo: planned configs vs the paper defaults, per graph.
+
+The paper fixes its heuristic parameters globally (α=0.25, the Fig. 2
+threshold cycle, ETC's 90% exit) while Tables II-VII show the best
+variant varies per input.  This bench runs the full tuning pipeline
+(:mod:`repro.tune`) on two generator graphs and checks the contract:
+
+* the tuned plan beats the paper-default baseline on modelled time,
+* the quality guard holds (modularity within tolerance of baseline),
+* a second invocation is a pure database hit — **zero** measured trials.
+
+Set ``REPRO_BENCH_GRAPHS=channel,com-orkut`` (comma-separated) to
+change the inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import format_table
+from repro.tune import TunerSettings, TuningDB, default_space, tune_graph
+
+from _cache import graph, machine
+
+BENCH_GRAPHS = tuple(
+    os.environ.get("REPRO_BENCH_GRAPHS", "channel,com-orkut").split(",")
+)
+
+SETTINGS_TRIALS = 6
+
+
+def collect():
+    rows = []
+    db = TuningDB()  # in-memory: the bench measures search + hit behaviour
+    for name in BENCH_GRAPHS:
+        g = graph(name)
+        settings = TunerSettings(
+            trials=SETTINGS_TRIALS,
+            machine=machine(name),
+            verify_schedule=True,
+        )
+        space = default_space(max_ranks=8)
+        record, cached = tune_graph(g, db, space=space, settings=settings)
+        assert not cached, f"first tune of {name} must search"
+        again, cached_again = tune_graph(
+            g, db, space=space, settings=settings
+        )
+        assert cached_again, f"second tune of {name} must be a DB hit"
+        assert again is record
+        rows.append(
+            [
+                name,
+                record.config.label(),
+                record.ranks,
+                round(record.baseline_seconds, 4),
+                round(record.measured_seconds, 4),
+                round(record.speedup, 2),
+                round(record.baseline_modularity, 4),
+                round(record.tuned_modularity, 4),
+                "ok" if record.quality_guard_passed else "FALLBACK",
+                len(record.trials),
+            ]
+        )
+    return rows
+
+
+def test_tune_autotuner(benchmark, record_result, record_bench):
+    rows = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    record_result(
+        "tune_autotuner",
+        format_table(
+            ["Graph", "Plan", "p", "baseline (s)", "tuned (s)", "speedup",
+             "base Q", "tuned Q", "guard", "trials"],
+            rows,
+            title="Autotuner — planned config vs paper defaults",
+        ),
+    )
+    record_bench(
+        "tune",
+        {
+            "rows": [
+                {
+                    "graph": name,
+                    "plan": plan,
+                    "ranks": p,
+                    "baseline_seconds": base_s,
+                    "tuned_seconds": tuned_s,
+                    "speedup": speedup,
+                    "baseline_modularity": base_q,
+                    "tuned_modularity": tuned_q,
+                    "guard": guard,
+                    "trials": trials,
+                }
+                for name, plan, p, base_s, tuned_s, speedup,
+                    base_q, tuned_q, guard, trials in rows
+            ]
+        },
+    )
+    for name, _, _, base_s, tuned_s, speedup, base_q, tuned_q, guard, _ in rows:
+        # The plan must beat the paper defaults on modelled time by a
+        # measurable margin...
+        assert tuned_s < base_s, f"{name}: tuned plan not faster"
+        assert speedup > 1.05, f"{name}: speedup {speedup} not measurable"
+        # ...without giving up more modularity than the guard allows.
+        assert guard == "ok", f"{name}: quality guard fell back"
+        assert tuned_q >= base_q - 0.02 - 1e-9

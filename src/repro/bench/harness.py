@@ -8,7 +8,7 @@ so benches stay declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.config import LouvainConfig
 from ..core.distlouvain import run_louvain
@@ -101,6 +101,37 @@ def strong_scaling_curve(
         (p, run_louvain(g, p, config, machine=machine).elapsed)
         for p in process_counts
     ]
+
+
+def run_trial(
+    g: CSRGraph,
+    config: LouvainConfig,
+    nranks: int,
+    *,
+    machine: MachineModel = CORI_HASWELL,
+    partition: str = "even_edge",
+    max_phases: int | None = None,
+    verify_schedule: bool | None = None,
+) -> LouvainResult:
+    """One autotuner trial: a (possibly phase-capped) measured run.
+
+    ``max_phases`` overrides the config's phase cap — the successive-
+    halving rungs of :mod:`repro.tune.search` run cheap low-fidelity
+    trials (one or two phases) before committing to full runs.
+    ``verify_schedule`` turns on the debug collective-schedule verifier
+    so a tuning sweep doubles as a collective-safety sweep over the
+    whole candidate space.
+    """
+    if max_phases is not None:
+        config = replace(config, max_phases=max_phases)
+    return run_louvain(
+        g,
+        nranks,
+        config,
+        machine=machine,
+        partition=partition,
+        verify_schedule=verify_schedule,
+    )
 
 
 def speedup_table(

@@ -1,0 +1,111 @@
+"""Machine-readable benchmark records: append-only ``BENCH_*.json``.
+
+The text blocks under ``benchmarks/results/`` are for humans; CI trend
+tracking wants structured data.  :func:`append_bench_record` appends one
+JSON-able dict to ``BENCH_<name>.json`` at the repository root (found by
+walking up to ``pyproject.toml``/``.git``), creating the file on first
+use.  Writes are atomic (temp file + ``os.replace``), following the
+:mod:`repro.core.resultio` idiom, so a crashed benchmark run never
+leaves a half-written file behind.
+
+File shape::
+
+    {"version": 1, "records": [ {...}, {...}, ... ]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Format version stamped into every ``BENCH_*.json`` document.
+BENCH_FORMAT_VERSION = 1
+
+#: Files whose presence marks the repository root.
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+def find_repo_root(start: str | os.PathLike[str] | None = None) -> Path:
+    """Walk up from ``start`` (default: this file) to the repo root.
+
+    The root is the first ancestor holding a marker file
+    (``pyproject.toml`` or ``.git``).  Raises :class:`FileNotFoundError`
+    when no ancestor qualifies — better than silently writing records
+    into an arbitrary directory.
+    """
+    here = Path(start) if start is not None else Path(__file__)
+    here = here.resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    raise FileNotFoundError(
+        f"no repository root (marked by {_ROOT_MARKERS}) above {here}"
+    )
+
+
+def read_bench_records(
+    name: str, root: str | os.PathLike[str] | None = None
+) -> list[dict[str, Any]]:
+    """All records of ``BENCH_<name>.json`` (empty list if absent)."""
+    path = _bench_path(name, root)
+    if not path.exists():
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    _validate(doc, path)
+    return list(doc["records"])
+
+
+def append_bench_record(
+    name: str,
+    record: Mapping[str, Any],
+    root: str | os.PathLike[str] | None = None,
+) -> Path:
+    """Append one record to ``BENCH_<name>.json``; returns the path.
+
+    ``record`` must be JSON-serialisable.  The whole document is
+    rewritten atomically so concurrent readers never observe a torn
+    file.
+    """
+    path = _bench_path(name, root)
+    records = read_bench_records(name, root)
+    records.append(dict(record))
+    doc = {"version": BENCH_FORMAT_VERSION, "records": records}
+    payload = json.dumps(doc, indent=1, sort_keys=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def _bench_path(
+    name: str, root: str | os.PathLike[str] | None = None
+) -> Path:
+    if not name or any(ch in name for ch in "/\\"):
+        raise ValueError(f"invalid bench name {name!r}")
+    base = Path(root) if root is not None else find_repo_root()
+    return base / f"BENCH_{name}.json"
+
+
+def _validate(doc: Any, path: Path) -> None:
+    if (
+        not isinstance(doc, dict)
+        or doc.get("version") != BENCH_FORMAT_VERSION
+        or not isinstance(doc.get("records"), list)
+    ):
+        raise ValueError(
+            f"{path} is not a version-{BENCH_FORMAT_VERSION} bench file"
+        )

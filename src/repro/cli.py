@@ -10,6 +10,7 @@
     repro-louvain submit   graph.bin --ranks 8 --variant etc \\
                            --cache-dir cache/
     repro-louvain serve    jobs.json --workers 4 --cache-dir cache/
+    repro-louvain tune     graph.bin --db tuning.json --trials 8
     repro-louvain ckpt     validate ckpts/
     repro-louvain compare  communities.txt ground_truth.txt
     repro-louvain lint     src/repro --fail-on error
@@ -20,7 +21,9 @@ does the distributed ingest + Louvain run (optionally writing resilience
 checkpoints, or resuming from them with ``--resume``), ``submit`` runs
 one job through the detection service (with a persistent result cache,
 so a repeated submission is served without recomputing), ``serve``
-drives a whole job file concurrently through the service engine, ``ckpt``
+drives a whole job file concurrently through the service engine, ``tune``
+searches for the best (config, ranks) plan for a graph and stores it in
+a persistent tuning database (see ``docs/TUNING.md``), ``ckpt``
 inspects/validates a checkpoint directory, ``compare`` scores a result
 against ground truth with the §V-D metrics, ``lint`` runs the spmdlint
 SPMD correctness analysis (see ``docs/ANALYSIS.md``).
@@ -126,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bypass the result cache for this job")
     smt.add_argument("--out", help="write 'vertex community' text file")
     smt.add_argument("--save", help="write .npz result file")
+    smt.add_argument("--tune-db", metavar="FILE",
+                     help="tuning database: plan (config, ranks) from it "
+                          "instead of the flags above (tune=\"auto\")")
 
     srv = sub.add_parser(
         "serve", help="drive a JSON job file through the service engine"
@@ -145,6 +151,41 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the metrics snapshot as JSON")
     srv.add_argument("--trace", action="store_true",
                      help="print the aggregate modelled-time breakdown")
+
+    tune = sub.add_parser(
+        "tune",
+        help="plan the best (config, ranks) for a graph and store it "
+             "in a persistent tuning database",
+    )
+    tune.add_argument("input", help="binary graph file")
+    tune.add_argument("--db", default="tuning.json", metavar="FILE",
+                      help="tuning database file (default tuning.json); "
+                           "a prior plan for the same graph is served "
+                           "without re-running trials")
+    tune.add_argument("--trials", type=int, default=8,
+                      help="candidates admitted to measured trials after "
+                           "cost-model screening (default 8)")
+    tune.add_argument("--budget", type=float, metavar="SECONDS",
+                      help="cap on cumulative modelled seconds spent in "
+                           "measured trials")
+    tune.add_argument("--max-ranks", type=int, default=8,
+                      help="largest rank count in the search space "
+                           "(default 8)")
+    tune.add_argument("--tolerance", type=float, default=0.02,
+                      help="quality guard: tuned modularity may fall at "
+                           "most this far below the paper-default "
+                           "baseline (default 0.02)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="search seed (the whole search is "
+                           "deterministic given it)")
+    tune.add_argument("--machine", default="cori-haswell",
+                      help="machine model preset (default cori-haswell)")
+    tune.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format on stdout (default text)")
+    tune.add_argument("--report", metavar="FILE",
+                      help="also write the full JSON report here")
+    tune.add_argument("--force", action="store_true",
+                      help="re-run the search even on a database hit")
 
     ckpt = sub.add_parser(
         "ckpt", help="inspect or validate a checkpoint directory"
@@ -320,13 +361,19 @@ def _cmd_submit(args) -> int:
         timeout=args.timeout,
         max_retries=args.max_retries,
         use_cache=not args.no_cache,
+        tune="auto" if args.tune_db else "off",
     )
     store = (
         ResultStore(directory=args.cache_dir)
         if args.cache_dir
         else None
     )
-    with Engine(workers=1, store=store) as engine:
+    tuning_db = None
+    if args.tune_db:
+        from .tune import TuningDB
+
+        tuning_db = TuningDB(args.tune_db)
+    with Engine(workers=1, store=store, tuning_db=tuning_db) as engine:
         response = engine.detect(request, timeout=args.timeout)
     print(response.summary())
     result = response.result
@@ -397,6 +444,77 @@ def _cmd_serve(args) -> int:
                 json.dump(engine.metrics.snapshot(), fh, indent=1)
             print(f"metrics written to {args.metrics}")
     return 1 if failed else 0
+
+
+def _cmd_tune(args) -> int:
+    import json
+
+    from .graph import read_edgelist
+    from .runtime.perfmodel import PRESETS
+    from .tune import (
+        TunerSettings,
+        TuningDB,
+        default_space,
+        plan_for_graph,
+    )
+
+    machine = PRESETS.get(args.machine)
+    if machine is None:
+        print(
+            f"error: unknown machine {args.machine!r}; "
+            f"available: {sorted(PRESETS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        settings = TunerSettings(
+            trials=args.trials,
+            budget_seconds=args.budget,
+            quality_tolerance=args.tolerance,
+            seed=args.seed,
+            machine=machine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    g = read_edgelist(args.input).to_csr()
+    db = TuningDB(args.db)
+    cached = db.get(g.fingerprint())
+    if cached is not None and not args.force:
+        record, report = cached, None
+    else:
+        space = default_space(max_ranks=args.max_ranks)
+        full = plan_for_graph(g, space=space, settings=settings)
+        db.put(full.record)
+        record, report = full.record, full
+
+    payload = {
+        "input": args.input,
+        "db": args.db,
+        "cached": report is None,
+        "record": record.to_dict(),
+    }
+    if report is not None:
+        payload["candidates_total"] = report.candidates_total
+        payload["candidates_screened"] = report.candidates_screened
+        payload["notes"] = list(report.notes)
+    if args.format == "json":
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    elif report is None:
+        print(
+            f"database hit for {args.input} "
+            f"(fingerprint {record.fingerprint[:12]}…) — no trials run"
+        )
+        print(record.summary())
+    else:
+        print(report.format())
+        print(f"plan stored in {args.db}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"report written to {args.report}")
+    return 0
 
 
 def _cmd_ckpt(args) -> int:
@@ -489,6 +607,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "submit": _cmd_submit,
     "serve": _cmd_serve,
+    "tune": _cmd_tune,
     "ckpt": _cmd_ckpt,
     "compare": _cmd_compare,
     "lint": _cmd_lint,

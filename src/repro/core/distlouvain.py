@@ -962,6 +962,7 @@ def run_louvain(
     checkpoint_every_iterations: int | None = None,
     resume: bool = False,
     fault_plan=None,
+    verify_schedule: bool | None = None,
 ) -> LouvainResult:
     """Driver: distribute ``g`` over ``nranks`` simulated ranks and run.
 
@@ -976,7 +977,9 @@ def run_louvain(
     ``resume=True`` restarts from the latest valid checkpoint (the
     input graph is not re-distributed — state comes from the shards);
     ``fault_plan`` injects deterministic failures
-    (:class:`repro.resilience.faults.FaultPlan`).
+    (:class:`repro.resilience.faults.FaultPlan`).  ``verify_schedule``
+    enables the debug collective-schedule verifier for this run
+    (defaults to the ``REPRO_VERIFY_SCHEDULE`` environment setting).
     """
     seed_global = None
     if initial_assignment is not None:
@@ -1009,7 +1012,12 @@ def run_louvain(
         )
 
     spmd: SPMDResult = run_spmd(
-        nranks, main, machine=machine, timeout=timeout, fault_plan=fault_plan
+        nranks,
+        main,
+        machine=machine,
+        timeout=timeout,
+        fault_plan=fault_plan,
+        verify_schedule=verify_schedule,
     )
     result: LouvainResult = spmd.value
     result.elapsed = spmd.elapsed

@@ -24,6 +24,7 @@ CATEGORIES = (
     "io",               # input reading
     "checkpoint",       # resilience: checkpoint save/load traffic and I/O
     "service",          # detection service: engine-side overhead per job
+    "tune",             # autotuner: modelled seconds spent on search trials
     "other",
 )
 

@@ -34,6 +34,7 @@ preemption point inside a rendezvous.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import tempfile
 import threading
@@ -49,7 +50,9 @@ from ..runtime.errors import (
     InjectedFault,
     RankFailedError,
 )
-from ..runtime.tracing import TraceReport
+from ..runtime.tracing import RankTrace, TraceReport
+from ..tune.db import TuningDB, TuningRecord
+from ..tune.search import TunerSettings
 from .metrics import ServiceMetrics
 from .request import DetectionRequest, DetectionResponse, JobState
 from .scheduler import AdmissionError, PriorityScheduler
@@ -60,6 +63,10 @@ __all__ = [
     "Job",
     "execute_request",
 ]
+
+#: Scheduler priority of engine-internal background tune jobs: below
+#: any plausible client priority, so tuning only consumes idle workers.
+TUNE_JOB_PRIORITY = -1_000_000
 
 #: Exceptions that mark an *attempt* as failed but the job as retryable.
 RETRYABLE = (RankFailedError, InjectedFault, CommTimeoutError)
@@ -127,6 +134,13 @@ class Job:
     id: str
     request: DetectionRequest
     state: JobState = JobState.PENDING
+    #: "detect" (client work) or "tune" (engine-internal background
+    #: tuning of a graph that missed the tuning DB).
+    kind: str = "detect"
+    #: The request's config/ranks were substituted by the autotuner.
+    tuned: bool = False
+    #: Fingerprint a tune job is planning for (in-flight dedup key).
+    tune_fingerprint: str | None = None
     result: LouvainResult | None = None
     error: str | None = None
     cache_hit: bool = False
@@ -150,6 +164,7 @@ class Job:
             error=self.error,
             cache_hit=self.cache_hit,
             retries=self.retries,
+            tuned=self.tuned,
             resumed_from_checkpoint=self.resumed_from_checkpoint,
             submitted_at=self.submitted_at,
             started_at=self.started_at,
@@ -177,6 +192,19 @@ class Engine:
     checkpoint_every_iterations:
         Auto-checkpoint cadence for retryable jobs that did not choose
         their own (iterations between mid-phase checkpoints).
+    tuning_db:
+        Autotuning database (:class:`repro.tune.TuningDB`).  Requests
+        submitted with ``tune="auto"`` consult it: an exact fingerprint
+        hit (or a near neighbour in feature space) substitutes the
+        planned config/rank count before the job is queued.
+    tune_on_miss:
+        When a ``tune="auto"`` request misses the DB, additionally
+        queue a *background* tune job at rock-bottom priority so the
+        next submission of that graph hits (requires ``tuning_db``).
+    tune_settings:
+        Search settings for background tune jobs
+        (:class:`repro.tune.TunerSettings`); defaults to a small
+        4-trial search so tuning never monopolises a worker.
     """
 
     def __init__(
@@ -187,11 +215,20 @@ class Engine:
         store: ResultStore | None = None,
         workdir: str | os.PathLike | None = None,
         checkpoint_every_iterations: int = 4,
+        tuning_db: TuningDB | None = None,
+        tune_on_miss: bool = False,
+        tune_settings: TunerSettings | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if tune_on_miss and tuning_db is None:
+            raise ValueError("tune_on_miss requires a tuning_db")
         self.workers = workers
         self.store = store
+        self.tuning_db = tuning_db
+        self.tune_on_miss = tune_on_miss
+        self.tune_settings = tune_settings
+        self._tuning_in_flight: set[str] = set()
         self.metrics = ServiceMetrics()
         self.scheduler = PriorityScheduler(max_pending=queue_depth)
         self.checkpoint_every_iterations = checkpoint_every_iterations
@@ -227,7 +264,10 @@ class Engine:
         """
         if self._shutdown:
             raise AdmissionError("closed", "engine is shut down")
-        job = Job(id=self._allocate_id(), request=request)
+        tuned = False
+        if request.tune == "auto":
+            request, tuned = self._planned_request(request)
+        job = Job(id=self._allocate_id(), request=request, tuned=tuned)
         job.submitted_at = time.monotonic()
         self.metrics.inc("submitted")
 
@@ -440,7 +480,109 @@ class Engine:
             finally:
                 self.metrics.adjust_gauge("running", -1)
 
+    # ------------------------------------------------------------------
+    # Autotuning (see repro.tune)
+    # ------------------------------------------------------------------
+    def _planned_request(
+        self, request: DetectionRequest
+    ) -> tuple[DetectionRequest, bool]:
+        """Resolve a ``tune="auto"`` request against the tuning DB.
+
+        Exact fingerprint hit, or nearest tuned neighbour in feature
+        space, substitutes the planned (config, ranks).  A miss leaves
+        the request untouched and — with ``tune_on_miss`` — queues a
+        background tune job so the *next* submission hits.
+        """
+        if self.tuning_db is None:
+            self.metrics.inc("tune_unavailable")
+            return request, False
+        g = request.resolved_graph()
+        fingerprint = g.fingerprint()
+        record = self.tuning_db.get(fingerprint)
+        if record is None:
+            from ..tune.features import compute_features
+
+            near = self.tuning_db.nearest(compute_features(g))
+            if near is not None:
+                record = near.record
+                self.metrics.inc("tune_nearest_hits")
+        if record is not None:
+            self.metrics.inc("tune_hits")
+            planned = dataclasses.replace(
+                request,
+                graph=g,
+                graph_path=None,
+                config=record.config,
+                nranks=record.ranks,
+                tune="off",
+            )
+            return planned, True
+        self.metrics.inc("tune_misses")
+        if self.tune_on_miss:
+            self._spawn_tune_job(request, fingerprint)
+        return request, False
+
+    def _spawn_tune_job(
+        self, request: DetectionRequest, fingerprint: str
+    ) -> None:
+        """Queue one background tune job per not-yet-tuned fingerprint."""
+        with self._lock:
+            if fingerprint in self._tuning_in_flight:
+                return
+            self._tuning_in_flight.add(fingerprint)
+        job = Job(
+            id=self._allocate_id(),
+            request=request,
+            kind="tune",
+            tune_fingerprint=fingerprint,
+        )
+        job.submitted_at = time.monotonic()
+        with self._lock:
+            self._jobs[job.id] = job
+        try:
+            job.ticket = self.scheduler.submit(
+                job, priority=TUNE_JOB_PRIORITY
+            )
+        except AdmissionError:
+            # Tuning is opportunistic: under backpressure it is shed
+            # first, and the fingerprint may be retried later.
+            with self._lock:
+                del self._jobs[job.id]
+                self._tuning_in_flight.discard(fingerprint)
+            self.metrics.inc("tune_jobs_shed")
+            return
+        self.metrics.inc("tune_jobs")
+
+    def _run_tune_job(self, job: Job) -> None:
+        from ..tune.search import tune_graph
+
+        assert self.tuning_db is not None  # guaranteed by _spawn_tune_job
+        try:
+            settings = self.tune_settings or TunerSettings(
+                trials=4, rung_phase_caps=(1,)
+            )
+            record, cached = tune_graph(
+                job.request.resolved_graph(),
+                self.tuning_db,
+                settings=settings,
+            )
+            if not cached:
+                self.metrics.inc("background_tunes")
+                self.metrics.observe_trace(
+                    _tune_trace(record), record.tune_seconds
+                )
+            self._finish(job, JobState.DONE)
+        except Exception as exc:
+            self._finish(job, JobState.FAILED, error=repr(exc))
+        finally:
+            if job.tune_fingerprint is not None:
+                with self._lock:
+                    self._tuning_in_flight.discard(job.tune_fingerprint)
+
     def _run_job(self, job: Job) -> None:
+        if job.kind == "tune":
+            self._run_tune_job(job)
+            return
         request = job.request
         deadline = (
             job.submitted_at + request.timeout
@@ -517,6 +659,15 @@ class Engine:
             )
             is not None
         )
+
+
+def _tune_trace(record: TuningRecord) -> TraceReport:
+    """The modelled cost of a tuning search as a one-rank ``tune`` trace,
+    so the engine's workload aggregate accounts for search overhead the
+    same way it accounts for checkpointing or service overhead."""
+    rt = RankTrace(rank=0)
+    rt.charge("tune", record.tune_seconds)
+    return TraceReport.merge([rt])
 
 
 def detect(request: DetectionRequest) -> DetectionResponse:

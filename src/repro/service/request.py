@@ -33,6 +33,11 @@ from ..runtime.perfmodel import CORI_HASWELL, MachineModel
 #: Detection modes a request may ask for.
 MODES = ("batch", "incremental", "resume")
 
+#: Tuning modes: "off" runs the request's own config verbatim; "auto"
+#: lets an engine with a tuning DB substitute the planned
+#: (config, ranks) for this graph (see :mod:`repro.tune`).
+TUNE_MODES = ("off", "auto")
+
 
 class JobState(enum.Enum):
     """Lifecycle of one job inside the engine.
@@ -101,6 +106,12 @@ class DetectionRequest:
     fault_plan: Any = None
     #: Serve (and populate) the engine's result store for this request.
     use_cache: bool = True
+    #: ``"auto"``: ask the engine to consult its tuning database and
+    #: run the *planned* config/rank count for this graph instead of
+    #: the ones spelled here (exact fingerprint hit or near neighbour;
+    #: on a miss the request runs as written and the engine may launch
+    #: a background tune job).  ``"off"``: run exactly what was asked.
+    tune: str = "off"
     #: Free-form client label carried through to the response.
     tag: str = ""
 
@@ -134,6 +145,15 @@ class DetectionRequest:
         if self.mode == "incremental" and self.previous_assignment is None:
             raise ValueError(
                 'mode="incremental" requires previous_assignment'
+            )
+        if self.tune not in TUNE_MODES:
+            raise ValueError(
+                f"tune must be one of {TUNE_MODES}, got {self.tune!r}"
+            )
+        if self.tune == "auto" and self.mode == "resume":
+            raise ValueError(
+                'tune="auto" needs an input graph to plan for; '
+                'mode="resume" carries none'
             )
 
     # ------------------------------------------------------------------
@@ -227,6 +247,9 @@ class DetectionResponse:
     cache_hit: bool = False
     #: Completed retry attempts (0 = succeeded first try).
     retries: int = 0
+    #: The config/ranks that ran were planned by the autotuner (the
+    #: ``request`` field reflects the substituted plan).
+    tuned: bool = False
     #: Whether any retry resumed from a checkpoint (vs restarting).
     resumed_from_checkpoint: bool = False
     #: Wall-clock timestamps (``time.monotonic`` domain).
@@ -252,6 +275,8 @@ class DetectionResponse:
         parts = [f"job {self.job_id}: {self.state.value}"]
         if self.cache_hit:
             parts.append("(cache hit)")
+        if self.tuned:
+            parts.append("(tuned)")
         if self.retries:
             parts.append(
                 f"(retried x{self.retries}"

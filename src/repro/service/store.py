@@ -14,7 +14,9 @@ Two tiers:
   service warms up from previous runs.  Disk entries reload the
   assignment, modularity, per-phase stats and elapsed time — the
   durable parts of a result; per-iteration diagnostics and the trace
-  live only in the memory tier.
+  live only in the memory tier.  ``disk_capacity`` bounds the tier:
+  once exceeded, the least-recently-used entries (by access stamp —
+  both stores and disk hits refresh it) are deleted.
 
 Hits served from either tier are *copies*: callers may mutate what they
 get back without corrupting the cache.
@@ -25,6 +27,7 @@ from __future__ import annotations
 import copy
 import os
 import threading
+import time
 from collections import OrderedDict
 
 from ..core.result import LouvainResult
@@ -38,16 +41,30 @@ class ResultStore:
         self,
         capacity: int = 128,
         directory: str | os.PathLike | None = None,
+        disk_capacity: int | None = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.directory = os.fspath(directory) if directory is not None else None
+        if disk_capacity is not None:
+            if self.directory is None:
+                raise ValueError("disk_capacity requires a directory")
+            if disk_capacity < 1:
+                raise ValueError(
+                    f"disk_capacity must be >= 1, got {disk_capacity}"
+                )
+        self.disk_capacity = disk_capacity
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, LouvainResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_evictions = 0
+        #: Strictly increasing mtime stamp (ns) — breaks ties between
+        #: accesses landing in the same clock tick so disk-LRU order is
+        #: total and deterministic.
+        self._last_stamp_ns = 0
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> str | None:
@@ -73,6 +90,7 @@ class ResultStore:
             with self._lock:
                 self.hits += 1
                 self._insert_locked(key, result)
+                self._touch_locked(path)
             return copy.deepcopy(result)
         with self._lock:
             self.misses += 1
@@ -87,6 +105,9 @@ class ResultStore:
             save_result(path, result)
         with self._lock:
             self._insert_locked(key, result)
+            if path is not None:
+                self._touch_locked(path)
+                self._evict_disk_locked()
 
     def _insert_locked(self, key: str, result: LouvainResult) -> None:
         self._memory[key] = result
@@ -94,6 +115,41 @@ class ResultStore:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.evictions += 1
+
+    def _touch_locked(self, path: str) -> None:
+        """Stamp ``path`` as just-used with a strictly increasing mtime."""
+        stamp = max(time.time_ns(), self._last_stamp_ns + 1)
+        self._last_stamp_ns = stamp
+        try:
+            os.utime(path, ns=(stamp, stamp))
+        except FileNotFoundError:
+            pass
+
+    def _disk_entries_locked(self) -> list[os.DirEntry]:
+        """Disk-tier entries, least- to most-recently used."""
+        if self.directory is None:
+            return []
+        try:
+            entries = [
+                e for e in os.scandir(self.directory)
+                if e.name.endswith(".npz")
+            ]
+        except FileNotFoundError:
+            return []
+        entries.sort(key=lambda e: (e.stat().st_mtime_ns, e.name))
+        return entries
+
+    def _evict_disk_locked(self) -> None:
+        if self.disk_capacity is None:
+            return
+        entries = self._disk_entries_locked()
+        excess = len(entries) - self.disk_capacity
+        for entry in entries[:max(excess, 0)]:
+            try:
+                os.unlink(entry.path)
+            except FileNotFoundError:
+                continue
+            self.disk_evictions += 1
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -112,6 +168,13 @@ class ResultStore:
         with self._lock:
             return list(self._memory)
 
+    def disk_keys(self) -> list[str]:
+        """Disk-tier keys, least- to most-recently used."""
+        with self._lock:
+            return [
+                e.name[: -len(".npz")] for e in self._disk_entries_locked()
+            ]
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -121,4 +184,7 @@ class ResultStore:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "directory": self.directory,
+                "disk_entries": len(self._disk_entries_locked()),
+                "disk_capacity": self.disk_capacity,
+                "disk_evictions": self.disk_evictions,
             }

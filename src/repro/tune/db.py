@@ -1,0 +1,266 @@
+"""Persistent tuning database: fingerprint-keyed, JSON, atomic writes.
+
+Tuning is expensive (dozens of measured trials) and graph-specific, so
+its product — a planned ``(LouvainConfig, ranks)`` pair with the
+evidence behind it — is persisted and reused:
+
+* **exact hit** — a graph whose :meth:`CSRGraph.fingerprint` is already
+  in the DB gets its planned config back instantly, no trials;
+* **nearest-neighbour fallback** — an unseen graph is served the plan
+  of the closest previously-tuned graph in feature space
+  (:func:`repro.tune.features.feature_distance`), when one is within
+  ``max_distance``.  Structure, not identity, is what the plan actually
+  depends on, so a near neighbour's plan transfers.
+
+The on-disk format is a single versioned JSON document.  Writes go
+through the same temp-file + atomic-rename discipline as
+:mod:`repro.core.resultio`, so a crash mid-save never corrupts the DB,
+and the file is human-diffable (sorted keys) for review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.config import LouvainConfig
+from .features import GraphFeatures, feature_distance
+
+#: On-disk document version; bump on incompatible layout changes.
+DB_FORMAT_VERSION = 1
+
+#: Default feature-space radius inside which a neighbour's plan is
+#: considered transferable.  Vector axes are normalised to ~unit scale
+#: (see :meth:`GraphFeatures.vector`), so 0.75 means "same size class
+#: and broadly similar shape".
+DEFAULT_NEAREST_DISTANCE = 0.75
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """Everything one tuning run learned about one graph."""
+
+    fingerprint: str
+    features: GraphFeatures
+    config: LouvainConfig
+    ranks: int
+    #: Cost-model estimate for the winning candidate.
+    predicted_seconds: float
+    #: Measured (modelled) full-run seconds of the winning candidate.
+    measured_seconds: float
+    #: Paper-default baseline: full-run seconds and modularity.
+    baseline_seconds: float
+    baseline_modularity: float
+    tuned_modularity: float
+    #: Quality guard: the tuned config must reach at least
+    #: ``baseline_modularity - quality_tolerance``.
+    quality_tolerance: float
+    quality_guard_passed: bool
+    #: Search reproducibility inputs.
+    tuner_seed: int
+    machine: str
+    #: Deterministic trial schedule: (rung, candidate key, phase cap).
+    schedule: tuple[dict[str, Any], ...] = ()
+    #: Full trial log: per-run measured seconds and modularity.
+    trials: tuple[dict[str, Any], ...] = ()
+    #: Total modelled seconds spent on measured trials (tuning cost).
+    tune_seconds: float = 0.0
+    #: Unix timestamp of when the record was created.
+    created: float = 0.0
+    #: Where the plan came from ("search"; responses served via the
+    #: nearest-neighbour path tag the donor fingerprint).
+    source: str = "search"
+
+    @property
+    def speedup(self) -> float:
+        """Baseline-over-tuned modelled-time ratio (> 1 is a win)."""
+        if self.measured_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.measured_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "features": self.features.to_dict(),
+            "config": self.config.to_dict(),
+            "ranks": self.ranks,
+            "predicted_seconds": self.predicted_seconds,
+            "measured_seconds": self.measured_seconds,
+            "baseline_seconds": self.baseline_seconds,
+            "baseline_modularity": self.baseline_modularity,
+            "tuned_modularity": self.tuned_modularity,
+            "quality_tolerance": self.quality_tolerance,
+            "quality_guard_passed": self.quality_guard_passed,
+            "tuner_seed": self.tuner_seed,
+            "machine": self.machine,
+            "schedule": list(self.schedule),
+            "trials": list(self.trials),
+            "tune_seconds": self.tune_seconds,
+            "created": self.created,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TuningRecord":
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            features=GraphFeatures.from_dict(data["features"]),
+            config=LouvainConfig.from_dict(dict(data["config"])),
+            ranks=int(data["ranks"]),
+            predicted_seconds=float(data["predicted_seconds"]),
+            measured_seconds=float(data["measured_seconds"]),
+            baseline_seconds=float(data["baseline_seconds"]),
+            baseline_modularity=float(data["baseline_modularity"]),
+            tuned_modularity=float(data["tuned_modularity"]),
+            quality_tolerance=float(data["quality_tolerance"]),
+            quality_guard_passed=bool(data["quality_guard_passed"]),
+            tuner_seed=int(data["tuner_seed"]),
+            machine=str(data["machine"]),
+            schedule=tuple(data.get("schedule", ())),
+            trials=tuple(data.get("trials", ())),
+            tune_seconds=float(data.get("tune_seconds", 0.0)),
+            created=float(data.get("created", 0.0)),
+            source=str(data.get("source", "search")),
+        )
+
+    def summary(self) -> str:
+        guard = "ok" if self.quality_guard_passed else "FAILED->baseline"
+        return (
+            f"plan {self.config.label()} x{self.ranks}: "
+            f"{self.measured_seconds:.4f}s vs baseline "
+            f"{self.baseline_seconds:.4f}s ({self.speedup:.2f}x), "
+            f"Q={self.tuned_modularity:.4f} vs {self.baseline_modularity:.4f} "
+            f"[guard {guard}]"
+        )
+
+
+@dataclass
+class _NearestHit:
+    """A nearest-neighbour lookup result with its distance."""
+
+    record: TuningRecord
+    distance: float
+
+
+class TuningDB:
+    """Thread-safe fingerprint-keyed store of :class:`TuningRecord` s.
+
+    ``path=None`` gives an in-memory DB (tests, throwaway engines);
+    with a path, the constructor loads any existing file and every
+    :meth:`put` persists atomically.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._entries: dict[str, TuningRecord] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._entries = _read_file(self.path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def fingerprints(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def get(self, fingerprint: str) -> TuningRecord | None:
+        """Exact-fingerprint lookup."""
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def put(self, record: TuningRecord) -> None:
+        """Insert/replace a record and persist (when file-backed)."""
+        if not record.created:
+            record = _stamp_created(record)
+        with self._lock:
+            self._entries[record.fingerprint] = record
+            if self.path is not None:
+                _write_file(self.path, self._entries)
+
+    def save(self, path: str | os.PathLike | None = None) -> str:
+        """Persist to ``path`` (default: the DB's own path)."""
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("in-memory TuningDB has no path to save to")
+        with self._lock:
+            _write_file(target, self._entries)
+        return target
+
+    # ------------------------------------------------------------------
+    def nearest(
+        self,
+        features: GraphFeatures,
+        max_distance: float = DEFAULT_NEAREST_DISTANCE,
+    ) -> _NearestHit | None:
+        """Closest tuned graph in feature space, within ``max_distance``.
+
+        Ties break on fingerprint so lookups are deterministic.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        best: _NearestHit | None = None
+        for rec in sorted(entries, key=lambda r: r.fingerprint):
+            d = feature_distance(features, rec.features)
+            if d <= max_distance and (best is None or d < best.distance):
+                best = _NearestHit(record=rec, distance=d)
+        return best
+
+
+def _stamp_created(record: TuningRecord) -> TuningRecord:
+    import dataclasses
+
+    return dataclasses.replace(record, created=time.time())
+
+
+def _read_file(path: str) -> dict[str, TuningRecord]:
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a valid tuning DB: {exc}") from exc
+    if not isinstance(doc, dict) or "entries" not in doc:
+        raise ValueError(f"{path}: not a tuning DB document")
+    version = doc.get("version", 0)
+    if not 1 <= version <= DB_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: tuning DB version {version} not supported "
+            f"(this build reads 1..{DB_FORMAT_VERSION})"
+        )
+    out: dict[str, TuningRecord] = {}
+    for fp, entry in doc["entries"].items():
+        rec = TuningRecord.from_dict(entry)
+        out[fp] = rec
+    return out
+
+
+def _write_file(path: str, entries: Mapping[str, TuningRecord]) -> None:
+    doc = {
+        "version": DB_FORMAT_VERSION,
+        "entries": {
+            fp: rec.to_dict() for fp, rec in sorted(entries.items())
+        },
+    }
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

@@ -1,0 +1,180 @@
+"""Cheap graph featurizer feeding the autotuner's cost model and DB.
+
+The best Louvain variant and parameter setting varies per graph (the
+paper's Tables II-VII show different winners on different inputs), so
+the tuner characterises a graph by a handful of *cheap* structural
+features — one CSR pass, no detection run — and uses them two ways:
+
+* the analytic cost model (:mod:`repro.tune.costmodel`) predicts a
+  candidate configuration's modelled runtime from them;
+* the tuning database (:mod:`repro.tune.db`) falls back to the
+  nearest previously-tuned graph in feature space when an unseen
+  fingerprint arrives.
+
+Features are deterministic functions of the CSR arrays, so the same
+graph always featurizes identically regardless of process or platform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.partition import even_edge, owner_of
+
+#: Rank counts at which the ghost fraction is probed.  These match the
+#: default search space's rank axis; other counts are served by the
+#: nearest probed point (``p = 1`` is exactly zero by construction).
+DEFAULT_GHOST_PROBES: tuple[int, ...] = (2, 4, 8)
+
+#: Version stamp stored with persisted features; bump on incompatible
+#: changes so stale DB entries are recognisably old.
+FEATURES_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Structural summary of one input graph.
+
+    ``ghost_fraction[p]`` is the fraction of stored adjacency entries
+    whose endpoint lives on a *different* rank under the paper's
+    ``even_edge`` 1-D partition at ``p`` ranks — the direct driver of
+    ghost- and community-communication volume (§IV-A).
+    """
+
+    num_vertices: int
+    num_edges: int
+    mean_degree: float
+    #: Coefficient of variation of the unweighted degree distribution.
+    degree_cv: float
+    #: Third standardized moment (skewness) of the degree distribution;
+    #: power-law webs score high, meshes near zero.
+    degree_skew: float
+    #: Largest degree as a fraction of ``n`` (hub concentration).
+    max_degree_fraction: float
+    #: p -> cross-rank adjacency-entry fraction under even_edge.
+    ghost_fraction: Mapping[int, float]
+
+    # ------------------------------------------------------------------
+    def ghost_fraction_at(self, nranks: int) -> float:
+        """Ghost fraction at ``nranks``, served from the nearest probe.
+
+        ``p = 1`` is exactly 0 (nothing is remote).  Other counts use
+        the probe with the closest ``log2`` distance, which is accurate
+        for the power-of-two rank axis the search space uses.
+        """
+        if nranks <= 1:
+            return 0.0
+        probes = sorted(self.ghost_fraction)
+        if not probes:
+            return 0.0
+        if nranks in self.ghost_fraction:
+            return float(self.ghost_fraction[nranks])
+        best = min(probes, key=lambda p: abs(math.log2(p) - math.log2(nranks)))
+        return float(self.ghost_fraction[best])
+
+    def vector(self) -> tuple[float, ...]:
+        """Normalised feature vector for nearest-neighbour distance.
+
+        Size features are log-scaled (a 10x bigger graph is "one unit
+        away", not a thousand), shape features are squashed into [0, 1]
+        ranges so no single axis dominates the L2 distance.
+        """
+        return (
+            math.log10(self.num_vertices + 1.0),
+            math.log10(self.num_edges + 1.0),
+            math.log10(self.mean_degree + 1.0),
+            min(self.degree_cv, 4.0) / 4.0,
+            math.atan(self.degree_skew) / math.pi + 0.5,
+            self.max_degree_fraction,
+            self.ghost_fraction_at(max(DEFAULT_GHOST_PROBES)),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": FEATURES_VERSION,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "mean_degree": self.mean_degree,
+            "degree_cv": self.degree_cv,
+            "degree_skew": self.degree_skew,
+            "max_degree_fraction": self.max_degree_fraction,
+            # JSON object keys are strings; restored in from_dict.
+            "ghost_fraction": {
+                str(p): float(f) for p, f in sorted(self.ghost_fraction.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GraphFeatures":
+        return cls(
+            num_vertices=int(data["num_vertices"]),
+            num_edges=int(data["num_edges"]),
+            mean_degree=float(data["mean_degree"]),
+            degree_cv=float(data["degree_cv"]),
+            degree_skew=float(data["degree_skew"]),
+            max_degree_fraction=float(data["max_degree_fraction"]),
+            ghost_fraction={
+                int(p): float(f)
+                for p, f in dict(data["ghost_fraction"]).items()
+            },
+        )
+
+    def format(self) -> str:
+        ghosts = " ".join(
+            f"p{p}={f:.2f}" for p, f in sorted(self.ghost_fraction.items())
+        )
+        return (
+            f"n={self.num_vertices} m={self.num_edges} "
+            f"deg[mean={self.mean_degree:.2f} cv={self.degree_cv:.2f} "
+            f"skew={self.degree_skew:.2f}] ghost[{ghosts}]"
+        )
+
+
+def compute_features(
+    g: CSRGraph, ghost_probes: tuple[int, ...] = DEFAULT_GHOST_PROBES
+) -> GraphFeatures:
+    """Featurize ``g`` in one CSR pass plus one partition per probe."""
+    counts = g.edge_counts().astype(np.float64)
+    n = g.num_vertices
+    mean = float(counts.mean()) if n else 0.0
+    std = float(counts.std()) if n else 0.0
+    if n and std > 0.0:
+        skew = float(np.mean(((counts - mean) / std) ** 3))
+    else:
+        skew = 0.0
+    return GraphFeatures(
+        num_vertices=n,
+        num_edges=g.num_edges,
+        mean_degree=mean,
+        degree_cv=(std / mean) if mean > 0 else 0.0,
+        degree_skew=skew,
+        max_degree_fraction=(float(counts.max()) / n) if n else 0.0,
+        ghost_fraction={
+            p: _ghost_fraction(g, p) for p in ghost_probes if p <= max(n, 1)
+        },
+    )
+
+
+def _ghost_fraction(g: CSRGraph, nranks: int) -> float:
+    """Cross-rank fraction of stored adjacency entries at ``nranks``."""
+    if nranks <= 1 or g.nnz == 0:
+        return 0.0
+    offsets = even_edge(g.edge_counts(), nranks)
+    rows = np.repeat(
+        np.arange(g.num_vertices, dtype=np.int64), np.diff(g.index)
+    )
+    row_owner = owner_of(offsets, rows)
+    nbr_owner = owner_of(offsets, g.edges)
+    return float(np.count_nonzero(row_owner != nbr_owner) / g.nnz)
+
+
+def feature_distance(a: GraphFeatures, b: GraphFeatures) -> float:
+    """L2 distance between two graphs' normalised feature vectors."""
+    va, vb = a.vector(), b.vector()
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(va, vb)))

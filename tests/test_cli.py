@@ -259,3 +259,76 @@ class TestServiceCli:
         jobs = tmp_path / "jobs.json"
         jobs.write_text('{"graph": "x"}')
         assert main(["serve", str(jobs)]) == 2
+
+
+class TestTuneCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.graph import write_edgelist
+
+        g = planted_blocks_graph(
+            blocks=4, per_block=10, p_in=0.8, inter_edges=6, seed=3
+        )
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+        return path
+
+    def test_tune_then_db_hit(self, tmp_path, capsys, graph_file):
+        db = str(tmp_path / "tune.json")
+        argv = [
+            "tune", graph_file, "--db", db, "--trials", "3",
+            "--max-ranks", "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "plan stored" in first
+        assert "rung" in first
+        # Second process-level invocation: pure DB hit, zero trials.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "database hit" in second
+        assert "no trials run" in second
+
+    def test_tune_json_report(self, tmp_path, capsys, graph_file):
+        import json
+
+        db = str(tmp_path / "tune.json")
+        report = str(tmp_path / "report.json")
+        rc = main([
+            "tune", graph_file, "--db", db, "--trials", "3",
+            "--max-ranks", "2", "--format", "json", "--report", report,
+        ])
+        assert rc == 0
+        doc = json.loads(open(report).read())
+        assert doc["cached"] is False
+        assert doc["record"]["ranks"] >= 1
+        assert doc["candidates_screened"] <= 3
+
+    def test_tune_force_reruns(self, tmp_path, capsys, graph_file):
+        db = str(tmp_path / "tune.json")
+        base = ["tune", graph_file, "--db", db, "--trials", "3",
+                "--max-ranks", "2"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--force"]) == 0
+        assert "plan stored" in capsys.readouterr().out
+
+    def test_tune_unknown_machine(self, graph_file, capsys):
+        rc = main(["tune", graph_file, "--machine", "cray-1"])
+        assert rc == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_tune_bad_trials(self, graph_file, capsys):
+        assert main(["tune", graph_file, "--trials", "0"]) == 2
+
+    def test_submit_with_tune_db(self, tmp_path, capsys, graph_file):
+        db = str(tmp_path / "tune.json")
+        assert main([
+            "tune", graph_file, "--db", db, "--trials", "3",
+            "--max-ranks", "2",
+        ]) == 0
+        capsys.readouterr()
+        rc = main(["submit", graph_file, "--tune-db", db])
+        assert rc == 0
+        assert "(tuned)" in capsys.readouterr().out

@@ -72,3 +72,11 @@ def test_checkpoint_resume():
     assert proc.returncode == 0, proc.stderr
     assert "injected failure:" in proc.stdout
     assert "bit-identical to uninterrupted run: True" in proc.stdout
+
+
+def test_autotune_demo():
+    proc = run_example("autotune_demo.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "database hit" in proc.stdout
+    assert "nearest tuned neighbour" in proc.stdout
+    assert "autotune demo ok" in proc.stdout

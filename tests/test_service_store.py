@@ -93,3 +93,50 @@ class TestDiskTier:
         _assert_identical(store.get("k1"), r1)
         assert len(store) == 2
         assert set(store.keys()) == {"k0", "k1"}
+
+
+class TestDiskCapacity:
+    def test_requires_directory(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="requires a directory"):
+            ResultStore(disk_capacity=2)
+        with pytest.raises(ValueError, match="disk_capacity"):
+            ResultStore(directory="/tmp/x", disk_capacity=0)
+
+    def test_eviction_keeps_newest(self, tmp_path):
+        store = ResultStore(
+            capacity=8, directory=str(tmp_path), disk_capacity=2
+        )
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)
+        store.put("c", r)  # exceeds the cap: "a" (oldest) must go
+        assert store.disk_keys() == ["b", "c"]
+        assert store.stats()["disk_evictions"] == 1
+        assert store.stats()["disk_entries"] == 2
+        assert not (tmp_path / "a.npz").exists()
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        store = ResultStore(
+            capacity=1, directory=str(tmp_path), disk_capacity=2
+        )
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)  # "a" drops out of the memory tier (cap 1)
+        assert store.get("a") is not None  # disk hit: "a" now most-recent
+        store.put("c", r)  # evicts "b", not "a"
+        assert store.disk_keys() == ["a", "c"]
+
+    def test_memory_tier_unaffected(self, tmp_path):
+        store = ResultStore(
+            capacity=8, directory=str(tmp_path), disk_capacity=1
+        )
+        r = _result()
+        store.put("a", r)
+        store.put("b", r)  # disk keeps only "b"; memory keeps both
+        assert set(store.keys()) == {"a", "b"}
+        assert store.disk_keys() == ["b"]
+        got = store.get("a")  # served from memory despite disk eviction
+        assert got is not None
+        _assert_identical(got, r)

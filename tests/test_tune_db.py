@@ -1,0 +1,165 @@
+"""Unit tests for the persistent tuning database (repro.tune.db)."""
+
+import json
+
+import pytest
+
+from repro.core import LouvainConfig
+from repro.generators import make_graph
+from repro.tune import (
+    DB_FORMAT_VERSION,
+    TuningDB,
+    TuningRecord,
+    compute_features,
+)
+
+
+def _record(g, fingerprint=None, ranks=4, **overrides):
+    fields = dict(
+        fingerprint=fingerprint or g.fingerprint(),
+        features=compute_features(g),
+        config=LouvainConfig(),
+        ranks=ranks,
+        predicted_seconds=0.5,
+        measured_seconds=0.4,
+        baseline_seconds=1.0,
+        baseline_modularity=0.85,
+        tuned_modularity=0.84,
+        quality_tolerance=0.02,
+        quality_guard_passed=True,
+        tuner_seed=0,
+        machine="cori-haswell",
+        created=123.0,
+    )
+    fields.update(overrides)
+    return TuningRecord(**fields)
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return make_graph("channel", scale="tiny", seed=0)
+
+
+class TestInMemory:
+    def test_put_get(self, channel):
+        db = TuningDB()
+        rec = _record(channel)
+        db.put(rec)
+        assert db.get(channel.fingerprint()) is rec
+        assert channel.fingerprint() in db
+        assert len(db) == 1
+
+    def test_miss(self, channel):
+        assert TuningDB().get(channel.fingerprint()) is None
+
+    def test_put_stamps_created(self, channel):
+        db = TuningDB()
+        db.put(_record(channel, created=0.0))
+        assert db.get(channel.fingerprint()).created > 0
+
+    def test_save_requires_path(self, channel):
+        with pytest.raises(ValueError, match="no path"):
+            TuningDB().save()
+
+
+class TestPersistence:
+    def test_round_trip(self, channel, tmp_path):
+        path = tmp_path / "db.json"
+        db = TuningDB(path)
+        rec = _record(channel)
+        db.put(rec)
+        again = TuningDB(path)
+        loaded = again.get(channel.fingerprint())
+        assert loaded is not None
+        assert loaded.config == rec.config
+        assert loaded.ranks == rec.ranks
+        assert loaded.features == rec.features
+
+    def test_on_disk_shape(self, channel, tmp_path):
+        path = tmp_path / "db.json"
+        TuningDB(path).put(_record(channel))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == DB_FORMAT_VERSION
+        assert channel.fingerprint() in doc["entries"]
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not a valid tuning DB"):
+            TuningDB(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text('{"records": []}')
+        with pytest.raises(ValueError, match="not a tuning DB"):
+            TuningDB(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(
+            json.dumps({"version": DB_FORMAT_VERSION + 1, "entries": {}})
+        )
+        with pytest.raises(ValueError, match="not supported"):
+            TuningDB(path)
+
+    def test_no_tmp_litter(self, channel, tmp_path):
+        path = tmp_path / "db.json"
+        db = TuningDB(path)
+        db.put(_record(channel))
+        db.put(_record(channel, ranks=8))
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]
+
+
+class TestNearest:
+    def test_exact_graph_is_distance_zero(self, channel):
+        db = TuningDB()
+        db.put(_record(channel))
+        hit = db.nearest(compute_features(channel))
+        assert hit is not None
+        assert hit.distance == 0.0
+
+    def test_similar_graph_found(self, channel):
+        db = TuningDB()
+        db.put(_record(channel))
+        sibling = make_graph("channel", scale="tiny", seed=3)
+        hit = db.nearest(compute_features(sibling))
+        assert hit is not None
+        assert hit.record.fingerprint == channel.fingerprint()
+        assert hit.distance > 0.0
+
+    def test_radius_respected(self, channel):
+        db = TuningDB()
+        db.put(_record(channel))
+        sibling = make_graph("channel", scale="tiny", seed=3)
+        assert db.nearest(
+            compute_features(sibling), max_distance=1e-12
+        ) is None
+
+    def test_empty_db(self, channel):
+        assert TuningDB().nearest(compute_features(channel)) is None
+
+    def test_picks_closest(self, channel):
+        db = TuningDB()
+        db.put(_record(channel))
+        other = make_graph("com-orkut", scale="tiny", seed=0)
+        db.put(_record(other, ranks=8))
+        hit = db.nearest(
+            compute_features(make_graph("channel", scale="tiny", seed=3)),
+            max_distance=100.0,
+        )
+        assert hit.record.fingerprint == channel.fingerprint()
+
+
+class TestRecord:
+    def test_round_trip(self, channel):
+        rec = _record(channel)
+        assert TuningRecord.from_dict(rec.to_dict()) == rec
+
+    def test_speedup(self, channel):
+        assert _record(channel).speedup == pytest.approx(2.5)
+        assert _record(channel, measured_seconds=0.0).speedup == float("inf")
+
+    def test_summary_mentions_guard(self, channel):
+        assert "guard ok" in _record(channel).summary()
+        bad = _record(channel, quality_guard_passed=False)
+        assert "FAILED" in bad.summary()

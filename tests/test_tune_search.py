@@ -1,0 +1,183 @@
+"""Unit tests for cost-model screening + successive-halving search."""
+
+import pytest
+
+from repro.core import LouvainConfig
+from repro.generators import make_graph
+from repro.runtime import CORI_HASWELL
+from repro.tune import (
+    Candidate,
+    SearchSpace,
+    TunerSettings,
+    TuningDB,
+    default_space,
+    plan_for_graph,
+    predict_cost,
+    screen,
+    tune_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return make_graph("channel", scale="tiny", seed=0)
+
+
+SMALL_SPACE = SearchSpace(
+    variants=("baseline", "et", "et+tc"),
+    alphas=(0.25, 0.5),
+    threshold_cycles=("paper",),
+    rank_counts=(1, 2, 4),
+    community_push=(False,),
+    ghost_delta=(False,),
+)
+
+FAST = TunerSettings(trials=4, rung_phase_caps=(1,))
+
+
+class TestCostModel:
+    def test_predictions_positive_and_finite(self, channel):
+        from repro.tune import compute_features
+
+        f = compute_features(channel)
+        for cand in SMALL_SPACE.candidates(seed=0)[:8]:
+            est = predict_cost(f, cand, CORI_HASWELL)
+            assert est.seconds > 0
+            assert est.breakdown
+            assert sum(est.breakdown.values()) == pytest.approx(est.seconds)
+
+    def test_screen_sorted_and_deterministic(self, channel):
+        from repro.tune import compute_features
+
+        f = compute_features(channel)
+        cands = SMALL_SPACE.candidates(seed=0)
+        a = screen(f, cands, CORI_HASWELL)
+        b = screen(f, cands, CORI_HASWELL)
+        assert [c.key() for _, c in a] == [c.key() for _, c in b]
+        times = [s for s, _ in a]
+        assert times == sorted(times)
+
+    def test_single_rank_has_no_comm_cost(self, channel):
+        from repro.tune import compute_features
+
+        f = compute_features(channel)
+        est = predict_cost(
+            f, Candidate(config=LouvainConfig(), ranks=1), CORI_HASWELL
+        )
+        assert est.breakdown.get("ghost_comm", 0.0) == 0.0
+        assert est.breakdown.get("community_comm", 0.0) == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan_and_schedule(self, channel):
+        a = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        b = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        assert a.record.config == b.record.config
+        assert a.record.ranks == b.record.ranks
+        assert a.record.schedule == b.record.schedule
+        assert a.record.trials == b.record.trials
+        assert a.record.measured_seconds == b.record.measured_seconds
+
+    def test_schedule_lists_every_trial(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        assert len(report.record.schedule) == len(report.trials)
+        for entry, trial in zip(report.record.schedule, report.trials):
+            assert entry["candidate"] == trial.candidate.key()
+            assert entry["rung"] == trial.rung
+            assert entry["max_phases"] == trial.max_phases
+
+
+class TestSearch:
+    def test_screening_caps_measured_candidates(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        assert report.candidates_screened <= FAST.trials
+        assert report.candidates_total == len(SMALL_SPACE.candidates(seed=0))
+
+    def test_baseline_always_measured(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        assert report.trials[0].rung == -1
+        assert report.trials[0].max_phases is None
+
+    def test_trials_run_collective_safe(self, channel):
+        # The schedule verifier raises on any rank divergence in the
+        # collective sequence; a clean pass is the assertion.
+        settings = TunerSettings(
+            trials=3, rung_phase_caps=(1,), verify_schedule=True
+        )
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=settings)
+        assert report.record.quality_guard_passed
+
+    def test_budget_cuts_are_deterministic(self, channel):
+        settings = TunerSettings(
+            trials=4, rung_phase_caps=(1,), budget_seconds=1e-9
+        )
+        a = plan_for_graph(channel, space=SMALL_SPACE, settings=settings)
+        b = plan_for_graph(channel, space=SMALL_SPACE, settings=settings)
+        assert a.record.schedule == b.record.schedule
+        # The baseline always runs; the budget chokes everything else to
+        # at most one measured candidate per rung.
+        assert len(a.trials) < 2 + 2 * FAST.trials
+
+    def test_guard_rejection_falls_back_to_baseline(self, channel):
+        # A negative tolerance puts the floor *above* the baseline's own
+        # modularity, so no finalist (nor the baseline itself) can pass:
+        # the plan must fall back to the paper-default baseline.
+        settings = TunerSettings(
+            trials=3, rung_phase_caps=(1,), quality_tolerance=-1.0
+        )
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=settings)
+        rec = report.record
+        assert not rec.quality_guard_passed
+        assert rec.config.variant == LouvainConfig().variant
+        assert rec.ranks == settings.baseline_ranks
+        assert rec.tuned_modularity == rec.baseline_modularity
+        assert any("falling back" in n for n in report.notes)
+
+    def test_quality_guard_holds_on_default_settings(self, channel):
+        rec = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST).record
+        assert rec.tuned_modularity >= (
+            rec.baseline_modularity - rec.quality_tolerance - 1e-12
+        )
+
+
+class TestTuneGraph:
+    def test_miss_searches_then_hit_skips_trials(self, channel):
+        db = TuningDB()
+        rec, cached = tune_graph(
+            channel, db, space=SMALL_SPACE, settings=FAST
+        )
+        assert not cached
+        again, cached2 = tune_graph(
+            channel, db, space=SMALL_SPACE, settings=FAST
+        )
+        assert cached2
+        assert again is rec
+
+    def test_force_reruns(self, channel):
+        db = TuningDB()
+        tune_graph(channel, db, space=SMALL_SPACE, settings=FAST)
+        _, cached = tune_graph(
+            channel, db, space=SMALL_SPACE, settings=FAST, force=True
+        )
+        assert not cached
+
+    def test_persists_through_db(self, channel, tmp_path):
+        path = tmp_path / "db.json"
+        tune_graph(
+            channel, TuningDB(path), space=SMALL_SPACE, settings=FAST
+        )
+        rec, cached = tune_graph(
+            channel, TuningDB(path), space=SMALL_SPACE, settings=FAST
+        )
+        assert cached
+        assert rec.fingerprint == channel.fingerprint()
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            TunerSettings(trials=0)
+        with pytest.raises(ValueError):
+            TunerSettings(eta=1)
+        with pytest.raises(ValueError):
+            TunerSettings(budget_seconds=0.0)
+        with pytest.raises(ValueError):
+            TunerSettings(baseline_ranks=0)

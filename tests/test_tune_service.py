@@ -1,0 +1,141 @@
+"""Integration tests: the autotuner behind DetectionRequest(tune="auto")."""
+
+import time
+
+import pytest
+
+from repro.core import LouvainConfig
+from repro.generators import make_graph
+from repro.service import DetectionRequest, Engine
+from repro.tune import TunerSettings, TuningDB, default_space, tune_graph
+
+SMALL_SETTINGS = TunerSettings(trials=3, rung_phase_caps=(1,))
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return make_graph("channel", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def tuned_db(channel):
+    db = TuningDB()
+    tune_graph(
+        channel, db, space=default_space(max_ranks=4),
+        settings=SMALL_SETTINGS,
+    )
+    return db
+
+
+def _wait_for_record(db, fingerprint, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        rec = db.get(fingerprint)
+        if rec is not None:
+            return rec
+        time.sleep(0.02)
+    raise AssertionError("background tune job never landed")
+
+
+class TestRequestValidation:
+    def test_default_is_off(self, channel):
+        assert DetectionRequest(graph=channel).tune == "off"
+
+    def test_bad_mode_rejected(self, channel):
+        with pytest.raises(ValueError, match="tune must be one of"):
+            DetectionRequest(graph=channel, tune="always")
+
+    def test_resume_incompatible(self, tmp_path):
+        with pytest.raises(ValueError, match="resume"):
+            DetectionRequest(
+                mode="resume", checkpoint_dir=str(tmp_path), tune="auto"
+            )
+
+
+class TestEngineConstruction:
+    def test_tune_on_miss_requires_db(self):
+        with pytest.raises(ValueError, match="tuning_db"):
+            Engine(tune_on_miss=True)
+
+
+class TestExactHit:
+    def test_plan_substituted(self, channel, tuned_db):
+        rec = tuned_db.get(channel.fingerprint())
+        with Engine(workers=1, tuning_db=tuned_db) as eng:
+            resp = eng.detect(DetectionRequest(graph=channel, tune="auto"))
+        assert resp.tuned
+        assert resp.request.config == rec.config
+        assert resp.request.nranks == rec.ranks
+        assert resp.result is not None
+        assert "(tuned)" in resp.summary()
+
+    def test_counters(self, channel, tuned_db):
+        with Engine(workers=1, tuning_db=tuned_db) as eng:
+            eng.detect(DetectionRequest(graph=channel, tune="auto"))
+            counters = eng.metrics.snapshot()["counters"]
+        assert counters["tune_hits"] == 1
+        assert "tune_misses" not in counters
+
+    def test_tune_off_ignores_db(self, channel, tuned_db):
+        with Engine(workers=1, tuning_db=tuned_db) as eng:
+            resp = eng.detect(DetectionRequest(graph=channel, nranks=2))
+        assert not resp.tuned
+        assert resp.request.nranks == 2
+
+
+class TestNearestHit:
+    def test_sibling_graph_served(self, channel, tuned_db):
+        sibling = make_graph("channel", scale="tiny", seed=3)
+        rec = tuned_db.get(channel.fingerprint())
+        with Engine(workers=1, tuning_db=tuned_db) as eng:
+            resp = eng.detect(DetectionRequest(graph=sibling, tune="auto"))
+            counters = eng.metrics.snapshot()["counters"]
+        assert resp.tuned
+        assert resp.request.config == rec.config
+        assert counters["tune_nearest_hits"] == 1
+
+
+class TestMiss:
+    def test_no_db_runs_as_written(self, channel):
+        with Engine(workers=1) as eng:
+            resp = eng.detect(
+                DetectionRequest(graph=channel, nranks=2, tune="auto")
+            )
+            counters = eng.metrics.snapshot()["counters"]
+        assert not resp.tuned
+        assert resp.request.nranks == 2
+        assert counters["tune_unavailable"] == 1
+
+    def test_miss_runs_as_written_without_background(self, channel):
+        db = TuningDB()
+        with Engine(workers=1, tuning_db=db) as eng:
+            resp = eng.detect(
+                DetectionRequest(graph=channel, nranks=2, tune="auto")
+            )
+            counters = eng.metrics.snapshot()["counters"]
+        assert not resp.tuned
+        assert counters["tune_misses"] == 1
+        assert "tune_jobs" not in counters
+        assert len(db) == 0
+
+    def test_tune_on_miss_populates_db(self, channel):
+        db = TuningDB()
+        with Engine(
+            workers=2, tuning_db=db, tune_on_miss=True,
+            tune_settings=SMALL_SETTINGS,
+        ) as eng:
+            first = eng.detect(
+                DetectionRequest(graph=channel, nranks=2, tune="auto")
+            )
+            assert not first.tuned  # the miss still runs as written
+            rec = _wait_for_record(db, channel.fingerprint())
+            second = eng.detect(
+                DetectionRequest(graph=channel, nranks=2, tune="auto")
+            )
+            snap = eng.metrics.snapshot()
+        assert second.tuned
+        assert second.request.config == rec.config
+        assert snap["counters"]["background_tunes"] == 1
+        # The background search's modelled cost lands in the trace
+        # aggregate under its own category.
+        assert snap["modelled"]["seconds_by_category"]["tune"] > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the declarative search space (repro.tune.space)."""
+
+import pytest
+
+from repro.core import LouvainConfig, Variant
+from repro.core.config import DEFAULT_THRESHOLD_CYCLE
+from repro.tune import THRESHOLD_CYCLES, Candidate, SearchSpace, default_space
+
+
+class TestEnumeration:
+    def test_deterministic(self):
+        space = default_space(max_ranks=4)
+        a = [c.key() for c in space.candidates(seed=0)]
+        b = [c.key() for c in space.candidates(seed=0)]
+        assert a == b
+
+    def test_no_duplicates(self):
+        keys = [c.key() for c in default_space().candidates(seed=0)]
+        assert len(keys) == len(set(keys))
+
+    def test_seed_stamped_on_every_config(self):
+        for cand in default_space(max_ranks=2).candidates(seed=7):
+            assert cand.config.seed == 7
+
+    def test_all_candidates_valid(self):
+        # Materialising as LouvainConfig already validated; spot-check
+        # that non-applicable axes stay pinned to defaults.
+        for cand in default_space(max_ranks=2).candidates(seed=0):
+            cfg = cand.config
+            if not cfg.variant.uses_early_termination:
+                assert cfg.alpha == LouvainConfig().alpha
+            if not cfg.variant.uses_threshold_cycling:
+                assert cfg.threshold_cycle == DEFAULT_THRESHOLD_CYCLE
+
+    def test_covers_every_variant(self):
+        variants = {
+            c.config.variant for c in default_space().candidates(seed=0)
+        }
+        assert variants == {
+            Variant("baseline"), Variant("threshold-cycling"),
+            Variant("et"), Variant("etc"), Variant("et+tc"),
+        }
+
+    def test_rank_axis_respects_cap(self):
+        ranks = {c.ranks for c in default_space(max_ranks=4).candidates()}
+        assert ranks == {1, 2, 4}
+
+
+class TestValidation:
+    def test_unknown_cycle_rejected(self):
+        with pytest.raises(ValueError, match="unknown threshold cycle"):
+            SearchSpace(threshold_cycles=("nope",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(variants=())
+        with pytest.raises(ValueError):
+            SearchSpace(rank_counts=())
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(rank_counts=(0,))
+
+    def test_bad_max_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            default_space(max_ranks=0)
+
+    def test_named_cycles_exist(self):
+        assert THRESHOLD_CYCLES["paper"] == DEFAULT_THRESHOLD_CYCLE
+        assert set(THRESHOLD_CYCLES) >= {"paper", "aggressive", "gentle"}
+
+
+class TestCandidate:
+    def test_key_stable_and_content_addressed(self):
+        a = Candidate(config=LouvainConfig(), ranks=4)
+        b = Candidate(config=LouvainConfig(), ranks=4)
+        c = Candidate(config=LouvainConfig(), ranks=8)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_transport_knobs_change_key(self):
+        a = Candidate(config=LouvainConfig(), ranks=4)
+        b = Candidate(
+            config=LouvainConfig(community_push_updates=True), ranks=4
+        )
+        assert a.key() != b.key()
+
+    def test_describe_mentions_ranks(self):
+        assert "x4" in Candidate(config=LouvainConfig(), ranks=4).describe()
