@@ -142,15 +142,51 @@ def build_parser() -> argparse.ArgumentParser:
              "\"config\": {...}, \"priority\": p, \"repeat\": k}, ...]",
     )
     srv.add_argument("--workers", type=int, default=4,
-                     help="concurrent jobs (default 4)")
+                     help="concurrent jobs (default 4); with --shards, "
+                          "workers per shard")
     srv.add_argument("--queue-depth", type=int, default=64,
                      help="admission bound on pending jobs (default 64)")
+    srv.add_argument("--shards", type=int, default=0,
+                     help="route jobs across N engine worker processes "
+                          "by graph fingerprint (0 = in-process engine, "
+                          "the default)")
     srv.add_argument("--cache-dir",
                      help="persistent result cache directory")
     srv.add_argument("--metrics", metavar="FILE",
                      help="write the metrics snapshot as JSON")
     srv.add_argument("--trace", action="store_true",
-                     help="print the aggregate modelled-time breakdown")
+                     help="print the aggregate modelled-time breakdown "
+                          "(in-process mode only)")
+
+    tnt = sub.add_parser(
+        "tenant",
+        help="drive a multi-tenant streaming workload through a "
+             "sharded serving tier",
+    )
+    tnt.add_argument(
+        "workload",
+        help="JSON workload: {\"tenants\": [{\"name\", \"graph\"|"
+             "\"generate\", \"ranks\", \"max_queued\", "
+             "\"churn_absolute\", \"churn_fraction\", \"config\"}], "
+             "\"events\": [{\"op\": \"detect\"|\"add\"|\"remove\"|"
+             "\"flush\"|\"wait\"|\"kill-shard\"|\"health\", ...}]}",
+    )
+    tnt.add_argument("--shards", type=int, default=2,
+                     help="engine worker processes (default 2)")
+    tnt.add_argument("--workers", type=int, default=2,
+                     help="concurrent jobs per shard (default 2)")
+    tnt.add_argument("--queue-depth", type=int, default=64,
+                     help="per-shard admission bound (default 64)")
+    tnt.add_argument("--cache-dir",
+                     help="shared persistent result cache directory")
+    tnt.add_argument("--tune-db", metavar="FILE",
+                     help="shared tuning database file")
+    tnt.add_argument("--metrics", metavar="FILE",
+                     help="write the fleet metrics snapshot as JSON")
+    tnt.add_argument("--drain", choices=("complete", "cancel"),
+                     default="complete",
+                     help="on exit, run queued jobs to completion or "
+                          "cancel them (default complete)")
 
     tune = sub.add_parser(
         "tune",
@@ -399,6 +435,8 @@ def _cmd_serve(args) -> int:
     if not isinstance(specs, list):
         print("error: job file must hold a JSON list", file=sys.stderr)
         return 2
+    if args.shards > 0:
+        return _serve_sharded(args, specs)
 
     store = (
         ResultStore(directory=args.cache_dir)
@@ -443,6 +481,205 @@ def _cmd_serve(args) -> int:
             with open(args.metrics, "w", encoding="utf-8") as fh:
                 json.dump(engine.metrics.snapshot(), fh, indent=1)
             print(f"metrics written to {args.metrics}")
+    return 1 if failed else 0
+
+
+def _serve_sharded(args, specs) -> int:
+    """``serve --shards N``: fan the job file across shard processes."""
+    import json
+
+    from .core import LouvainConfig
+    from .service import AdmissionError, DetectionRequest
+    from .serving import ShardConfig, ShardDeadError, ShardRouter
+
+    router = ShardRouter(
+        [
+            ShardConfig(
+                shard_id=i,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                cache_dir=args.cache_dir,
+            )
+            for i in range(args.shards)
+        ]
+    )
+    failed = 0
+    try:
+        submitted = []  # (shard, job_id)
+        for i, spec in enumerate(specs):
+            try:
+                request = DetectionRequest(
+                    graph_path=spec["graph"],
+                    config=LouvainConfig.from_dict(spec.get("config", {})),
+                    nranks=int(spec.get("ranks", 4)),
+                    priority=int(spec.get("priority", 0)),
+                    timeout=spec.get("timeout"),
+                    max_retries=int(spec.get("max_retries", 1)),
+                    tenant=str(spec.get("tenant", "")),
+                    tag=str(spec.get("tag", f"jobs[{i}]")),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                print(f"error: jobs[{i}]: {exc}", file=sys.stderr)
+                return 2
+            key = request.resolved_graph().fingerprint()
+            for _ in range(int(spec.get("repeat", 1))):
+                shard = router.route(key)
+                try:
+                    submitted.append((shard, shard.submit(request)))
+                except AdmissionError as exc:
+                    print(f"rejected jobs[{i}]: {exc}")
+                    failed += 1
+        for shard, job_id in submitted:
+            try:
+                response = shard.wait(job_id)
+            except ShardDeadError as exc:
+                print(f"lost {job_id}: {exc}")
+                failed += 1
+                continue
+            print(f"[shard {shard.shard_id}] {response.summary()}")
+            if response.result is None:
+                failed += 1
+        if args.metrics:
+            snapshot = {
+                str(s.shard_id): s.metrics() for s in router.live_shards()
+            }
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, indent=1)
+            print(f"metrics written to {args.metrics}")
+    finally:
+        router.shutdown()
+    return 1 if failed else 0
+
+
+def _cmd_tenant(args) -> int:
+    """Drive a multi-tenant streaming workload through a serving tier."""
+    import json
+
+    from .core import LouvainConfig
+    from .generators import make_graph
+    from .graph.binio import read_edgelist
+    from .service import AdmissionError
+    from .serving import ChurnPolicy, ServingTier, TenantQuota
+
+    with open(args.workload, "r", encoding="utf-8") as fh:
+        workload = json.load(fh)
+    if not isinstance(workload, dict) or "tenants" not in workload:
+        print(
+            "error: workload must be an object with a \"tenants\" list",
+            file=sys.stderr,
+        )
+        return 2
+
+    tier = ServingTier(
+        shards=args.shards,
+        workers_per_shard=args.workers,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
+        tuning_db_path=args.tune_db,
+    )
+    failed = 0
+    pending = []
+    try:
+        for spec in workload["tenants"]:
+            name = spec["name"]
+            churn_kwargs = {}
+            if "churn_absolute" in spec:
+                churn_kwargs["absolute"] = int(spec["churn_absolute"])
+            if "churn_fraction" in spec:
+                churn_kwargs["fraction"] = float(spec["churn_fraction"])
+            tier.create_tenant(
+                name,
+                quota=TenantQuota(
+                    max_queued=int(spec.get("max_queued", 8)),
+                    max_ranks=int(spec.get("max_ranks", 8)),
+                    edge_budget=spec.get("edge_budget"),
+                ),
+                config=LouvainConfig.from_dict(spec.get("config", {})),
+                nranks=int(spec.get("ranks", 4)),
+                churn=ChurnPolicy(**churn_kwargs),
+            )
+            if "generate" in spec:
+                gen = spec["generate"]
+                graph = make_graph(
+                    gen["name"],
+                    scale=gen.get("scale", "tiny"),
+                    seed=int(gen.get("seed", 0)),
+                )
+            else:
+                graph = read_edgelist(spec["graph"]).to_csr()
+            tier.load_graph(name, graph)
+            print(tier.registry.get(name).describe())
+
+        def wait_pending():
+            nonlocal failed
+            while pending:
+                handle = pending.pop(0)
+                response = tier.wait(handle)
+                state = response.state.value
+                print(
+                    f"[{handle.tenant}] {handle.kind} job "
+                    f"{handle.job_id} on shard {handle.shard_id}: {state}"
+                )
+                if response.result is None:
+                    failed += 1
+
+        for i, event in enumerate(workload.get("events", [])):
+            op = event["op"]
+            try:
+                if op == "detect":
+                    pending.append(tier.detect(event["tenant"]))
+                elif op == "add":
+                    handle = tier.add_edges(
+                        event["tenant"],
+                        event["u"],
+                        event["v"],
+                        event.get("w"),
+                    )
+                    if handle is not None:
+                        print(
+                            f"[{event['tenant']}] churn threshold "
+                            f"crossed (net {handle.net_churn}); "
+                            "incremental re-detection submitted"
+                        )
+                        pending.append(handle)
+                elif op == "remove":
+                    handle = tier.remove_edges(
+                        event["tenant"], event["u"], event["v"]
+                    )
+                    if handle is not None:
+                        pending.append(handle)
+                elif op == "flush":
+                    handle = tier.flush(event["tenant"])
+                    if handle is not None:
+                        pending.append(handle)
+                elif op == "wait":
+                    wait_pending()
+                elif op == "kill-shard":
+                    tier.kill_shard(int(event["shard"]))
+                    print(f"shard {event['shard']} killed")
+                elif op == "health":
+                    print(f"health: {tier.health_check()}")
+                else:
+                    print(f"error: events[{i}]: unknown op {op!r}",
+                          file=sys.stderr)
+                    return 2
+            except AdmissionError as exc:
+                print(f"rejected events[{i}]: {exc}")
+                failed += 1
+        wait_pending()
+
+        report = tier.drain(cancel_pending=args.drain == "cancel")
+        for sid in sorted(report):
+            states = [state for _, state in report[sid]]
+            print(f"shard {sid} drained: {len(states)} job(s)")
+        for name in tier.registry.names():
+            print(tier.registry.get(name).describe())
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(tier.metrics(), fh, indent=1)
+            print(f"metrics written to {args.metrics}")
+    finally:
+        tier.shutdown()
     return 1 if failed else 0
 
 
@@ -607,6 +844,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "submit": _cmd_submit,
     "serve": _cmd_serve,
+    "tenant": _cmd_tenant,
     "tune": _cmd_tune,
     "ckpt": _cmd_ckpt,
     "compare": _cmd_compare,

@@ -17,6 +17,7 @@ from .config import (
 )
 from .distlouvain import distributed_louvain, louvain_phase_distributed, run_louvain
 from .dynamic import (
+    ChurnAccumulator,
     ChurnStats,
     EdgeChurn,
     apply_churn,
@@ -71,6 +72,7 @@ __all__ = [
     "AuditReport",
     "ChurnStats",
     "aggregate_deltas",
+    "ChurnAccumulator",
     "EdgeChurn",
     "apply_churn",
     "audit_community_info",

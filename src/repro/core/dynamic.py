@@ -10,6 +10,8 @@ ripples) move, so convergence takes far fewer iterations.
 This module provides:
 
 * :class:`EdgeChurn` — a batch of insertions and deletions;
+* :class:`ChurnAccumulator` — streamed updates folded into one *net*
+  batch (repeated add/remove of the same edge deduplicated);
 * :func:`apply_churn` — produce the updated graph;
 * :func:`incremental_louvain` — warm-started distributed re-detection;
 * :func:`churn_statistics` — how disruptive a batch was.
@@ -121,6 +123,126 @@ def apply_churn(g: CSRGraph, churn: EdgeChurn) -> CSRGraph:
         ev = np.concatenate([ev, churn.add_v])
         ew = np.concatenate([ew, churn.add_w])
     return EdgeList.from_arrays(n, eu, ev, ew).to_csr()
+
+
+class ChurnAccumulator:
+    """Fold streamed edge updates into one deduplicated *net* batch.
+
+    The serving tier triggers incremental re-detection when accumulated
+    churn crosses a threshold, so the count that matters is the **net**
+    effect on the graph, not the raw operation count: a client that adds
+    and then removes the same edge within one accumulation window has
+    changed nothing, and adding the same edge twice touches one edge,
+    not two.  Per normalised edge key ``(min(u, v), max(u, v))``:
+
+    * repeated inserts accumulate their weight but count once;
+    * repeated deletes count once;
+    * insert followed by delete cancels the insert (the delete is kept —
+      deleting an edge absent from the base graph is a no-op, while a
+      base edge the window first fattened and then removed must go);
+    * delete followed by insert keeps both, which
+      :func:`apply_churn` applies as delete-then-insert — i.e. the edge
+      ends at exactly the re-inserted weight, matching the sequential
+      replay of the window.
+
+    ``net_size`` — the number of distinct edges with a pending
+    operation — is what threshold checks should use.
+    """
+
+    def __init__(self) -> None:
+        self._adds: dict[tuple[int, int], float] = {}
+        self._dels: set[tuple[int, int]] = set()
+        #: Raw (pre-dedup) operation counts, for observability.
+        self.raw_insertions = 0
+        self.raw_deletions = 0
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        u, v = int(u), int(v)
+        return (u, v) if u <= v else (v, u)
+
+    def add(self, u: int, v: int, w: float = 1.0) -> None:
+        """Record one edge insertion (weights of repeats accumulate)."""
+        key = self._key(u, v)
+        self._adds[key] = self._adds.get(key, 0.0) + float(w)
+        self.raw_insertions += 1
+
+    def remove(self, u: int, v: int) -> None:
+        """Record one edge deletion (cancels a pending insert)."""
+        key = self._key(u, v)
+        self._adds.pop(key, None)
+        self._dels.add(key)
+        self.raw_deletions += 1
+
+    def add_edges(self, u, v, w=None) -> None:
+        """Vectorised :meth:`add` over aligned arrays."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        ws = (
+            np.ones(len(u), dtype=np.float64)
+            if w is None
+            else np.asarray(w, dtype=np.float64)
+        )
+        if not (len(u) == len(v) == len(ws)):
+            raise ValueError("u, v, w must have equal length")
+        for a, b, x in zip(u, v, ws):
+            self.add(int(a), int(b), float(x))
+
+    def remove_edges(self, u, v) -> None:
+        """Vectorised :meth:`remove` over aligned arrays."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if len(u) != len(v):
+            raise ValueError("u, v must have equal length")
+        for a, b in zip(u, v):
+            self.remove(int(a), int(b))
+
+    @property
+    def net_size(self) -> int:
+        """Distinct edges with a pending net operation."""
+        return len(self._adds.keys() | self._dels)
+
+    @property
+    def raw_size(self) -> int:
+        """Total operations recorded (before deduplication)."""
+        return self.raw_insertions + self.raw_deletions
+
+    def __len__(self) -> int:
+        return self.net_size
+
+    def __bool__(self) -> bool:
+        return self.net_size > 0
+
+    def batch(self) -> EdgeChurn:
+        """The pending net churn as one deterministic :class:`EdgeChurn`.
+
+        Edges are emitted in sorted key order so the same stream of
+        updates always produces a byte-identical batch (and therefore a
+        bit-identical incremental re-detection).
+        """
+        adds = sorted(self._adds.items())
+        dels = sorted(self._dels)
+        return EdgeChurn(
+            add_u=np.array([k[0] for k, _ in adds], dtype=np.int64),
+            add_v=np.array([k[1] for k, _ in adds], dtype=np.int64),
+            add_w=np.array([w for _, w in adds], dtype=np.float64),
+            del_u=np.array([k[0] for k in dels], dtype=np.int64),
+            del_v=np.array([k[1] for k in dels], dtype=np.int64),
+        )
+
+    def clear(self) -> None:
+        """Reset to an empty window (raw counters included)."""
+        self._adds.clear()
+        self._dels.clear()
+        self.raw_insertions = 0
+        self.raw_deletions = 0
+
+    def take(self) -> EdgeChurn:
+        """:meth:`batch` then :meth:`clear`, atomically from the
+        caller's perspective — the accumulation-window handoff."""
+        out = self.batch()
+        self.clear()
+        return out
 
 
 def incremental_louvain(

@@ -25,6 +25,7 @@ CATEGORIES = (
     "checkpoint",       # resilience: checkpoint save/load traffic and I/O
     "service",          # detection service: engine-side overhead per job
     "tune",             # autotuner: modelled seconds spent on search trials
+    "serving",          # multi-tenant tier: routing, churn application
     "other",
 )
 

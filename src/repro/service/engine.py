@@ -183,6 +183,12 @@ class Engine:
     queue_depth:
         Admission bound on *pending* jobs; beyond it, :meth:`submit`
         raises :class:`AdmissionError` (backpressure, not buffering).
+    scheduler:
+        Pending-job queue to use instead of the default
+        :class:`PriorityScheduler` — any admission-compatible subclass
+        works; the multi-tenant serving tier passes its deficit-round-
+        robin fair-share scheduler here.  When given, ``queue_depth``
+        is ignored (the scheduler owns its own bound).
     store:
         Result cache; ``None`` disables caching entirely.
     workdir:
@@ -212,6 +218,7 @@ class Engine:
         workers: int = 4,
         *,
         queue_depth: int = 64,
+        scheduler: PriorityScheduler | None = None,
         store: ResultStore | None = None,
         workdir: str | os.PathLike | None = None,
         checkpoint_every_iterations: int = 4,
@@ -230,7 +237,11 @@ class Engine:
         self.tune_settings = tune_settings
         self._tuning_in_flight: set[str] = set()
         self.metrics = ServiceMetrics()
-        self.scheduler = PriorityScheduler(max_pending=queue_depth)
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else PriorityScheduler(max_pending=queue_depth)
+        )
         self.checkpoint_every_iterations = checkpoint_every_iterations
         self._workdir = (
             os.fspath(workdir)

@@ -112,6 +112,11 @@ class DetectionRequest:
     #: on a miss the request runs as written and the engine may launch
     #: a background tune job).  ``"off"``: run exactly what was asked.
     tune: str = "off"
+    #: Owning tenant in a multi-tenant serving tier (``repro.serving``):
+    #: fair-share admission groups jobs by this name.  Service-level
+    #: only — never affects the detection outcome or the cache key, so
+    #: two tenants asking for the same detection share one cache entry.
+    tenant: str = ""
     #: Free-form client label carried through to the response.
     tag: str = ""
 

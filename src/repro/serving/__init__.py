@@ -1,0 +1,45 @@
+"""Multi-tenant sharded serving tier with streaming graph updates.
+
+Layers on the detection service (:mod:`repro.service`): named tenants
+own long-lived graphs under quotas, stream edge insertions/deletions
+into net-churn windows that trigger incremental re-detection
+(:mod:`repro.core.dynamic`), and share a fleet of engine worker
+*processes* — fair-share scheduled per shard, rendezvous-routed by
+graph fingerprint, draining/rerouting on shard death.
+
+Entry point: :class:`ServingTier`.  See ``docs/SERVING.md``.
+"""
+
+from .fairshare import DEFAULT_TENANT, DeficitRoundRobinScheduler, tenant_of
+from .router import NoLiveShards, ShardRouter
+from .service import JobHandle, ServingTier
+from .shard import ShardConfig, ShardDeadError, ShardProcess
+from .tenants import (
+    ChurnPolicy,
+    QuotaExceeded,
+    Tenant,
+    TenantError,
+    TenantQuota,
+    TenantRegistry,
+    UnknownTenant,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "ChurnPolicy",
+    "DeficitRoundRobinScheduler",
+    "JobHandle",
+    "NoLiveShards",
+    "QuotaExceeded",
+    "ServingTier",
+    "ShardConfig",
+    "ShardDeadError",
+    "ShardProcess",
+    "ShardRouter",
+    "Tenant",
+    "TenantError",
+    "TenantQuota",
+    "TenantRegistry",
+    "UnknownTenant",
+    "tenant_of",
+]

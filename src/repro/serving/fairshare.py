@@ -1,0 +1,206 @@
+"""Fair-share admission: deficit round robin (DRR) across tenants.
+
+The engine's :class:`~repro.service.scheduler.PriorityScheduler` orders
+jobs by (priority, FIFO) globally — correct for one client, but in a
+multi-tenant tier a heavy tenant that dumps a hundred jobs ahead of a
+light tenant's one starves the light tenant for the whole backlog.
+:class:`DeficitRoundRobinScheduler` replaces the single heap with one
+heap *per tenant* and serves tenants deficit-round-robin:
+
+* each active tenant holds a **deficit counter**; every time the
+  round-robin pointer visits it, the counter grows by ``quantum``;
+* the tenant at the front dispatches jobs while its deficit covers the
+  next job's **cost** (default 1.0 — plain per-job fairness; the
+  serving tier passes an edge-count-based cost so tenants submitting
+  huge graphs get proportionally fewer slots);
+* a tenant that cannot afford its next job rotates to the back.
+
+With unit costs this degenerates to round robin — every tenant with
+pending work gets every ``k``-th dispatch slot among ``k`` active
+tenants, so a starved tenant's queue wait is bounded by its *own*
+backlog, not the heavy tenant's.  Within one tenant, jobs keep the
+engine's (priority desc, FIFO) order.
+
+Admission is two-level: the global ``max_pending`` bound (reason
+``"queue-full"``) plus a per-tenant ``max_queued`` quota (reason
+``"tenant-queue-full"``) registered via :meth:`set_quota` — a
+zero-quota tenant is rejected outright.  The class is a drop-in
+``scheduler=`` for :class:`repro.service.Engine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable
+
+from ..service.scheduler import AdmissionError, PriorityScheduler
+
+__all__ = ["DEFAULT_TENANT", "DeficitRoundRobinScheduler", "tenant_of"]
+
+#: Flow name for items that carry no tenant (engine-internal jobs,
+#: plain non-tenant submissions).  Participates in the round robin like
+#: any other tenant, so background work cannot starve real tenants.
+DEFAULT_TENANT = "_default"
+
+
+def tenant_of(item: Any) -> str:
+    """Tenant name of a scheduled item (engine ``Job`` or bare request).
+
+    Reads ``item.request.tenant`` (engine jobs) falling back to
+    ``item.tenant`` (bare requests); empty/missing maps to
+    :data:`DEFAULT_TENANT`.
+    """
+    request = getattr(item, "request", item)
+    return str(getattr(request, "tenant", "") or DEFAULT_TENANT)
+
+
+class DeficitRoundRobinScheduler(PriorityScheduler):
+    """Per-tenant fair-share variant of :class:`PriorityScheduler`.
+
+    Parameters
+    ----------
+    max_pending:
+        Global admission bound across all tenants.
+    quantum:
+        Deficit added per round-robin visit.  The ratio
+        ``cost / quantum`` is how many visits a job "costs"; with the
+        default unit cost a quantum of 1.0 dispatches one job per
+        tenant per round.
+    cost_of:
+        Job -> cost in quantum units (default: 1.0 for every job).
+    key_of:
+        Job -> tenant name (default: :func:`tenant_of`).
+    default_max_queued:
+        Per-tenant quota for tenants never registered via
+        :meth:`set_quota` (``None`` = unbounded up to ``max_pending``).
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 256,
+        *,
+        quantum: float = 1.0,
+        cost_of: Callable[[Any], float] | None = None,
+        key_of: Callable[[Any], str] | None = None,
+        default_max_queued: int | None = None,
+    ):
+        super().__init__(max_pending=max_pending)
+        if quantum <= 0:
+            raise ValueError(f"quantum must be > 0, got {quantum}")
+        self.quantum = float(quantum)
+        self._cost_of = cost_of if cost_of is not None else (lambda item: 1.0)
+        self._key_of = key_of if key_of is not None else tenant_of
+        self.default_max_queued = default_max_queued
+        #: tenant -> min-heap of (-priority, ticket, item).
+        self._queues: dict[str, list[tuple[int, int, Any]]] = {}
+        #: Round-robin order over tenants with pending work.
+        self._active: deque[str] = deque()
+        self._deficit: dict[str, float] = {}
+        #: tenant -> live (admitted, not popped, not cancelled) count.
+        self._live: dict[str, int] = {}
+        self._quota: dict[str, int | None] = {}
+        self._ticket_tenant: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Quotas
+    # ------------------------------------------------------------------
+    def set_quota(self, tenant: str, max_queued: int | None) -> None:
+        """Cap ``tenant``'s pending jobs (``None`` = unbounded, ``0`` =
+        admit nothing).  Already-queued jobs are never revoked."""
+        if max_queued is not None and max_queued < 0:
+            raise ValueError(f"max_queued must be >= 0, got {max_queued}")
+        with self._lock:
+            self._quota[tenant] = max_queued
+
+    def quota(self, tenant: str) -> int | None:
+        with self._lock:
+            return self._quota.get(tenant, self.default_max_queued)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, item: Any, priority: int = 0) -> int:
+        with self._lock:
+            if self._closed:
+                raise AdmissionError(
+                    "closed", "scheduler is shut down; no new jobs accepted"
+                )
+            tenant = self._key_of(item)
+            cap = self._quota.get(tenant, self.default_max_queued)
+            if cap is not None and self._live.get(tenant, 0) >= cap:
+                raise AdmissionError(
+                    "tenant-queue-full",
+                    f"tenant {tenant!r} is at its queued-job quota "
+                    f"({cap}); retry later or raise the quota",
+                )
+            if self._live_depth() >= self.max_pending:
+                raise AdmissionError(
+                    "queue-full",
+                    f"admission queue is full ({self.max_pending} pending); "
+                    "retry later or raise max_pending",
+                )
+            ticket = next(self._seq)
+            queue = self._queues.setdefault(tenant, [])
+            heapq.heappush(queue, (-priority, ticket, item))
+            self._ticket_tenant[ticket] = tenant
+            self._live[tenant] = self._live.get(tenant, 0) + 1
+            if tenant not in self._active:
+                self._active.append(tenant)
+                self._deficit.setdefault(tenant, 0.0)
+            self._available.notify()
+            return ticket
+
+    def cancel(self, ticket: int) -> bool:
+        with self._lock:
+            tenant = self._ticket_tenant.get(ticket)
+            if tenant is None or ticket in self._cancelled:
+                return False
+            self._cancelled.add(ticket)
+            self._live[tenant] -= 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Consumer side (called under the base class's lock)
+    # ------------------------------------------------------------------
+    def _pop_live_locked(self) -> Any | None:
+        while self._active:
+            tenant = self._active[0]
+            queue = self._queues.get(tenant, [])
+            # Shed lazily-cancelled heads before costing the next job.
+            while queue and queue[0][1] in self._cancelled:
+                _, ticket, _ = heapq.heappop(queue)
+                self._cancelled.discard(ticket)
+                self._ticket_tenant.pop(ticket, None)
+            if not queue:
+                self._active.popleft()
+                self._deficit.pop(tenant, None)
+                continue
+            cost = max(float(self._cost_of(queue[0][2])), 0.0)
+            if self._deficit[tenant] < cost:
+                # Cannot afford the head job: recharge and rotate.
+                self._deficit[tenant] += self.quantum
+                self._active.rotate(-1)
+                continue
+            _, ticket, item = heapq.heappop(queue)
+            self._deficit[tenant] -= cost
+            self._ticket_tenant.pop(ticket, None)
+            self._live[tenant] -= 1
+            return item
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _live_depth(self) -> int:
+        return sum(self._live.values())
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Pending jobs of one tenant."""
+        with self._lock:
+            return self._live.get(tenant, 0)
+
+    def tenants(self) -> list[str]:
+        """Tenants with pending work, in current round-robin order."""
+        with self._lock:
+            return [t for t in self._active if self._live.get(t, 0) > 0]

@@ -1,0 +1,359 @@
+"""Tenants: named owners of long-lived graphs with quotas and churn.
+
+A **tenant** is the unit of isolation in the serving tier: it owns one
+long-lived graph, a detection configuration, the latest community
+assignment, and a streaming-churn accumulation window.  Per-tenant
+:class:`TenantQuota` bounds what the tenant may consume (queued jobs,
+rank count, edge budget), and a :class:`ChurnPolicy` decides when
+accumulated *net* churn is disruptive enough to warrant incremental
+re-detection (the locality argument: only vertices near changed edges
+need re-sweeping, so small windows warm-start cheaply and large ones
+amortise over one batched re-detection).
+
+Everything here is pure in-process state — no processes, no engine —
+so quota and trigger semantics are unit-testable in isolation; the
+:class:`~repro.serving.service.ServingTier` composes these with the
+shard fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import LouvainConfig
+from ..core.dynamic import ChurnAccumulator, EdgeChurn, apply_churn
+from ..graph.csr import CSRGraph
+from ..service.request import DetectionRequest
+
+__all__ = [
+    "ChurnPolicy",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantError",
+    "QuotaExceeded",
+    "UnknownTenant",
+]
+
+
+class TenantError(RuntimeError):
+    """Base class for tenant-level failures."""
+
+
+class QuotaExceeded(TenantError):
+    """An operation would exceed the tenant's quota.
+
+    ``limit`` names the quota field that fired (``"edge_budget"``,
+    ``"max_ranks"``, ...).
+    """
+
+    def __init__(self, limit: str, detail: str):
+        super().__init__(detail)
+        self.limit = limit
+
+
+class UnknownTenant(KeyError):
+    """Lookup of a tenant name that was never created (or was removed)."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant may consume.
+
+    ``max_queued`` feeds the fair-share scheduler's per-tenant admission
+    cap (0 = admit nothing); ``max_ranks`` clamps the world size of any
+    job the tenant submits; ``edge_budget`` bounds the owned graph's
+    undirected edge count (``None`` = unbounded) — enforced on load and
+    on every streamed insertion, so a runaway stream cannot blow up one
+    shard's memory.
+    """
+
+    max_queued: int = 8
+    max_ranks: int = 8
+    edge_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {self.max_queued}"
+            )
+        if self.max_ranks < 1:
+            raise ValueError(f"max_ranks must be >= 1, got {self.max_ranks}")
+        if self.edge_budget is not None and self.edge_budget < 0:
+            raise ValueError(
+                f"edge_budget must be >= 0, got {self.edge_budget}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnPolicy:
+    """When does accumulated net churn trigger re-detection?
+
+    Either (or both) of an **absolute** net-edge count and a
+    **fraction** of the current graph's edge count ``m``; the threshold
+    fires as soon as any configured bound is reached.  With neither
+    set, streaming only accumulates — re-detection happens on explicit
+    :meth:`~repro.serving.service.ServingTier.flush`.
+    """
+
+    absolute: int | None = None
+    fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.absolute is not None and self.absolute < 1:
+            raise ValueError(f"absolute must be >= 1, got {self.absolute}")
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+
+    def should_trigger(self, net_churn: int, num_edges: int) -> bool:
+        """Has ``net_churn`` (distinct net-changed edges) crossed any
+        configured threshold for a graph of ``num_edges`` edges?"""
+        if net_churn <= 0:
+            return False
+        if self.absolute is not None and net_churn >= self.absolute:
+            return True
+        if (
+            self.fraction is not None
+            and net_churn >= self.fraction * max(num_edges, 1)
+        ):
+            return True
+        return False
+
+
+class Tenant:
+    """One named tenant: graph, quota, churn window, latest solution.
+
+    Not thread-safe on its own; the registry hands out per-tenant locks
+    and the serving tier serialises mutations per tenant.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        quota: TenantQuota | None = None,
+        config: LouvainConfig | None = None,
+        nranks: int = 4,
+        churn: ChurnPolicy | None = None,
+    ):
+        if not name or "/" in name:
+            raise ValueError(f"invalid tenant name {name!r}")
+        self.name = name
+        self.quota = quota if quota is not None else TenantQuota()
+        self.config = config if config is not None else LouvainConfig()
+        self.nranks = nranks
+        self.churn = churn if churn is not None else ChurnPolicy()
+        self.graph: CSRGraph | None = None
+        self.assignment: np.ndarray | None = None
+        self.modularity: float | None = None
+        self.accumulator = ChurnAccumulator()
+        #: Per-tenant serving counters (jobs, edges, triggers, ...).
+        self.counters: Counter[str] = Counter()
+        self.lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Graph ownership
+    # ------------------------------------------------------------------
+    def load_graph(self, graph: CSRGraph) -> None:
+        """Install (or replace) the owned graph; resets solution state."""
+        budget = self.quota.edge_budget
+        if budget is not None and graph.num_edges > budget:
+            raise QuotaExceeded(
+                "edge_budget",
+                f"tenant {self.name!r}: graph has {graph.num_edges} edges, "
+                f"budget is {budget}",
+            )
+        self.graph = graph
+        self.assignment = None
+        self.modularity = None
+        self.accumulator.clear()
+        self.counters["graphs_loaded"] += 1
+
+    def _require_graph(self) -> CSRGraph:
+        if self.graph is None:
+            raise TenantError(
+                f"tenant {self.name!r} owns no graph yet; load one first"
+            )
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Streaming mutations
+    # ------------------------------------------------------------------
+    def record_add_edges(self, u, v, w=None) -> bool:
+        """Accumulate an insertion batch; True if the churn threshold
+        is now crossed (caller should re-detect)."""
+        g = self._require_graph()
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if len(u) and (u.min() < 0 or v.min() < 0):
+            raise ValueError("vertex ids must be non-negative")
+        budget = self.quota.edge_budget
+        if budget is not None:
+            # Worst case every pending insert is a brand-new edge.
+            projected = (
+                g.num_edges + self.accumulator.net_size + len(u)
+            )
+            if projected > budget:
+                raise QuotaExceeded(
+                    "edge_budget",
+                    f"tenant {self.name!r}: insertion batch could reach "
+                    f"{projected} edges, budget is {budget}",
+                )
+        self.accumulator.add_edges(u, v, w)
+        self.counters["edges_added"] += len(u)
+        return self._threshold_crossed()
+
+    def record_remove_edges(self, u, v) -> bool:
+        """Accumulate a deletion batch; True if the churn threshold is
+        now crossed."""
+        self._require_graph()
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        self.accumulator.remove_edges(u, v)
+        self.counters["edges_removed"] += len(u)
+        return self._threshold_crossed()
+
+    def _threshold_crossed(self) -> bool:
+        g = self._require_graph()
+        return self.churn.should_trigger(
+            self.accumulator.net_size, g.num_edges
+        )
+
+    def take_churn(self) -> EdgeChurn:
+        """Close the accumulation window: apply the pending net churn to
+        the owned graph and return the batch that was applied."""
+        g = self._require_graph()
+        churn = self.accumulator.take()
+        self.graph = apply_churn(g, churn)
+        self.counters["churn_batches_applied"] += 1
+        return churn
+
+    # ------------------------------------------------------------------
+    # Detection requests
+    # ------------------------------------------------------------------
+    def build_request(
+        self,
+        *,
+        priority: int = 0,
+        reset_touched: np.ndarray | None = None,
+        incremental: bool | None = None,
+    ) -> DetectionRequest:
+        """A detection request for the current graph, quota-clamped.
+
+        ``incremental`` defaults to "whenever a previous assignment
+        exists"; an incremental request warm-starts from it and resets
+        ``reset_touched`` (typically the applied churn's touched
+        vertices) to singletons.
+        """
+        g = self._require_graph()
+        ranks = min(self.nranks, self.quota.max_ranks)
+        warm = (
+            self.assignment is not None
+            if incremental is None
+            else incremental
+        )
+        if warm and self.assignment is None:
+            raise TenantError(
+                f"tenant {self.name!r} has no previous assignment to "
+                "warm-start from"
+            )
+        if warm:
+            return DetectionRequest(
+                graph=g,
+                config=self.config,
+                nranks=ranks,
+                mode="incremental",
+                previous_assignment=self.assignment,
+                reset_touched=reset_touched,
+                priority=priority,
+                tenant=self.name,
+                tag=f"{self.name}/incremental",
+            )
+        return DetectionRequest(
+            graph=g,
+            config=self.config,
+            nranks=ranks,
+            priority=priority,
+            tenant=self.name,
+            tag=f"{self.name}/batch",
+        )
+
+    def absorb(self, assignment: np.ndarray, modularity: float) -> None:
+        """Record a completed detection's solution as the tenant's
+        current one (the warm-start seed for the next window)."""
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self.modularity = float(modularity)
+        self.counters["detections_absorbed"] += 1
+
+    def describe(self) -> str:
+        g = self.graph
+        shape = (
+            f"{g.num_vertices}v/{g.num_edges}e" if g is not None else "no graph"
+        )
+        return (
+            f"tenant {self.name}: {shape}, pending churn "
+            f"{self.accumulator.net_size}, "
+            f"Q={'-' if self.modularity is None else f'{self.modularity:.4f}'}"
+        )
+
+
+class TenantRegistry:
+    """Thread-safe name -> :class:`Tenant` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: dict[str, Tenant] = {}
+
+    def create(
+        self,
+        name: str,
+        *,
+        quota: TenantQuota | None = None,
+        config: LouvainConfig | None = None,
+        nranks: int = 4,
+        churn: ChurnPolicy | None = None,
+    ) -> Tenant:
+        tenant = Tenant(
+            name, quota=quota, config=config, nranks=nranks, churn=churn
+        )
+        with self._lock:
+            if name in self._tenants:
+                raise TenantError(f"tenant {name!r} already exists")
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise UnknownTenant(name) from None
+
+    def remove(self, name: str) -> Tenant:
+        with self._lock:
+            try:
+                return self._tenants.pop(name)
+            except KeyError:
+                raise UnknownTenant(name) from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._tenants.values()))

@@ -72,6 +72,10 @@ class TuningRecord:
     tune_seconds: float = 0.0
     #: Unix timestamp of when the record was created.
     created: float = 0.0
+    #: Unix timestamp of the last lookup that served this record
+    #: (exact or nearest hit); drives LRU eviction.  0.0 = never used
+    #: since creation, in which case ``created`` stands in.
+    last_used: float = 0.0
     #: Where the plan came from ("search"; responses served via the
     #: nearest-neighbour path tag the donor fingerprint).
     source: str = "search"
@@ -102,6 +106,7 @@ class TuningRecord:
             "trials": list(self.trials),
             "tune_seconds": self.tune_seconds,
             "created": self.created,
+            "last_used": self.last_used,
             "source": self.source,
         }
 
@@ -125,6 +130,7 @@ class TuningRecord:
             trials=tuple(data.get("trials", ())),
             tune_seconds=float(data.get("tune_seconds", 0.0)),
             created=float(data.get("created", 0.0)),
+            last_used=float(data.get("last_used", 0.0)),
             source=str(data.get("source", "search")),
         )
 
@@ -153,14 +159,48 @@ class TuningDB:
     ``path=None`` gives an in-memory DB (tests, throwaway engines);
     with a path, the constructor loads any existing file and every
     :meth:`put` persists atomically.
+
+    Hygiene: a long-lived serving deployment shares one DB across
+    shards and tunes every graph it ever sees, so the DB is bounded:
+
+    * ``max_entries`` — size cap; beyond it, least-recently-*used*
+      records (``last_used``, falling back to ``created``) are evicted;
+    * ``max_age_seconds`` — records whose last use is older than this
+      are dropped regardless of the cap (stale plans for graphs nobody
+      serves anymore).
+
+    GC runs on load and on every :meth:`put`; the pruned document is
+    rewritten with the same temp-file + atomic-rename discipline as
+    ordinary saves, so a crash mid-GC never corrupts the DB.  Lookups
+    (:meth:`get` / :meth:`nearest` hits) stamp ``last_used`` in memory;
+    the stamps persist with the next write rather than on every read.
     """
 
-    def __init__(self, path: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        max_entries: int | None = None,
+        max_age_seconds: float | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_age_seconds is not None and max_age_seconds <= 0:
+            raise ValueError(
+                f"max_age_seconds must be > 0, got {max_age_seconds}"
+            )
         self.path = os.fspath(path) if path is not None else None
+        self.max_entries = max_entries
+        self.max_age_seconds = max_age_seconds
+        #: Records dropped by GC over this instance's lifetime.
+        self.gc_evictions = 0
         self._lock = threading.Lock()
         self._entries: dict[str, TuningRecord] = {}
         if self.path is not None and os.path.exists(self.path):
             self._entries = _read_file(self.path)
+            with self._lock:
+                if self._gc_locked() and self.path is not None:
+                    _write_file(self.path, self._entries)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -176,18 +216,70 @@ class TuningDB:
             return sorted(self._entries)
 
     def get(self, fingerprint: str) -> TuningRecord | None:
-        """Exact-fingerprint lookup."""
+        """Exact-fingerprint lookup (stamps ``last_used`` on a hit)."""
         with self._lock:
-            return self._entries.get(fingerprint)
+            record = self._entries.get(fingerprint)
+            if record is not None:
+                record = self._touch_locked(record)
+            return record
 
     def put(self, record: TuningRecord) -> None:
-        """Insert/replace a record and persist (when file-backed)."""
+        """Insert/replace a record, GC, and persist (when file-backed)."""
         if not record.created:
             record = _stamp_created(record)
         with self._lock:
             self._entries[record.fingerprint] = record
+            self._gc_locked()
             if self.path is not None:
                 _write_file(self.path, self._entries)
+
+    def gc(self) -> int:
+        """Apply the size cap and age limit now; returns records dropped.
+
+        Persists the pruned document when file-backed (atomic rewrite),
+        also flushing any in-memory ``last_used`` stamps.
+        """
+        with self._lock:
+            dropped = self._gc_locked()
+            if self.path is not None:
+                _write_file(self.path, self._entries)
+            return dropped
+
+    def _touch_locked(self, record: TuningRecord) -> TuningRecord:
+        import dataclasses
+
+        record = dataclasses.replace(record, last_used=time.time())
+        self._entries[record.fingerprint] = record
+        return record
+
+    def _gc_locked(self) -> int:
+        """Prune by age then by LRU size cap; returns records dropped."""
+        dropped = 0
+        if self.max_age_seconds is not None:
+            cutoff = time.time() - self.max_age_seconds
+            stale = [
+                fp
+                for fp, rec in self._entries.items()
+                if (rec.last_used or rec.created) < cutoff
+            ]
+            for fp in stale:
+                del self._entries[fp]
+            dropped += len(stale)
+        if (
+            self.max_entries is not None
+            and len(self._entries) > self.max_entries
+        ):
+            # Oldest last-use first; fingerprint breaks ties so the
+            # eviction order is deterministic.
+            victims = sorted(
+                self._entries.values(),
+                key=lambda r: ((r.last_used or r.created), r.fingerprint),
+            )[: len(self._entries) - self.max_entries]
+            for rec in victims:
+                del self._entries[rec.fingerprint]
+            dropped += len(victims)
+        self.gc_evictions += dropped
+        return dropped
 
     def save(self, path: str | os.PathLike | None = None) -> str:
         """Persist to ``path`` (default: the DB's own path)."""
@@ -215,6 +307,15 @@ class TuningDB:
             d = feature_distance(features, rec.features)
             if d <= max_distance and (best is None or d < best.distance):
                 best = _NearestHit(record=rec, distance=d)
+        if best is not None:
+            with self._lock:
+                # The donor may have been evicted concurrently; only a
+                # still-present record gets its LRU stamp refreshed.
+                if best.record.fingerprint in self._entries:
+                    best = _NearestHit(
+                        record=self._touch_locked(best.record),
+                        distance=best.distance,
+                    )
         return best
 
 

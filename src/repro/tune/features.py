@@ -33,7 +33,9 @@ DEFAULT_GHOST_PROBES: tuple[int, ...] = (2, 4, 8)
 
 #: Version stamp stored with persisted features; bump on incompatible
 #: changes so stale DB entries are recognisably old.
-FEATURES_VERSION = 1
+#: v2 added the streaming-churn axes (default 0.0, so v1 records load
+#: unchanged as "static graph, no churn observed").
+FEATURES_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,15 @@ class GraphFeatures:
     max_degree_fraction: float
     #: p -> cross-rank adjacency-entry fraction under even_edge.
     ghost_fraction: Mapping[int, float]
+    #: Streaming workloads only: net churned edges per accumulation
+    #: window as a fraction of ``m`` (0.0 for static graphs).  A plan
+    #: tuned under heavy churn should not transfer to a static graph of
+    #: the same shape, and vice versa — these axes keep them apart in
+    #: nearest-neighbour space.
+    churn_edge_fraction: float = 0.0
+    #: Streaming workloads only: vertices incident to churn per window
+    #: as a fraction of ``n`` — the warm-restart reset footprint.
+    churn_touched_fraction: float = 0.0
 
     # ------------------------------------------------------------------
     def ghost_fraction_at(self, nranks: int) -> float:
@@ -92,6 +103,25 @@ class GraphFeatures:
             math.atan(self.degree_skew) / math.pi + 0.5,
             self.max_degree_fraction,
             self.ghost_fraction_at(max(DEFAULT_GHOST_PROBES)),
+            min(self.churn_edge_fraction, 1.0),
+            min(self.churn_touched_fraction, 1.0),
+        )
+
+    def with_churn(
+        self, *, edge_fraction: float, touched_fraction: float
+    ) -> "GraphFeatures":
+        """Copy with the streaming-churn axes filled in.
+
+        The serving tier calls this with the per-window net-churn rates
+        observed on a tenant's graph, so the tuning DB can distinguish
+        "this structure under churn" from "this structure, static".
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            churn_edge_fraction=max(float(edge_fraction), 0.0),
+            churn_touched_fraction=max(float(touched_fraction), 0.0),
         )
 
     # ------------------------------------------------------------------
@@ -108,6 +138,8 @@ class GraphFeatures:
             "ghost_fraction": {
                 str(p): float(f) for p, f in sorted(self.ghost_fraction.items())
             },
+            "churn_edge_fraction": self.churn_edge_fraction,
+            "churn_touched_fraction": self.churn_touched_fraction,
         }
 
     @classmethod
@@ -123,16 +155,27 @@ class GraphFeatures:
                 int(p): float(f)
                 for p, f in dict(data["ghost_fraction"]).items()
             },
+            # v1 records carry no churn axes: load as static (0.0).
+            churn_edge_fraction=float(data.get("churn_edge_fraction", 0.0)),
+            churn_touched_fraction=float(
+                data.get("churn_touched_fraction", 0.0)
+            ),
         )
 
     def format(self) -> str:
         ghosts = " ".join(
             f"p{p}={f:.2f}" for p, f in sorted(self.ghost_fraction.items())
         )
+        churn = (
+            f" churn[e={self.churn_edge_fraction:.3f} "
+            f"v={self.churn_touched_fraction:.3f}]"
+            if self.churn_edge_fraction or self.churn_touched_fraction
+            else ""
+        )
         return (
             f"n={self.num_vertices} m={self.num_edges} "
             f"deg[mean={self.mean_degree:.2f} cv={self.degree_cv:.2f} "
-            f"skew={self.degree_skew:.2f}] ghost[{ghosts}]"
+            f"skew={self.degree_skew:.2f}] ghost[{ghosts}]{churn}"
         )
 
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import modularity, run_louvain
 from repro.core.dynamic import (
+    ChurnAccumulator,
     ChurnStats,
     EdgeChurn,
     apply_churn,
@@ -175,3 +176,112 @@ class TestChurnStatistics:
     def test_empty_previous(self):
         stats = churn_statistics(EdgeChurn(), np.empty(0, np.int64))
         assert stats.touched_fraction == 0.0
+
+
+class TestChurnAccumulator:
+    def test_empty(self):
+        acc = ChurnAccumulator()
+        assert not acc
+        assert acc.net_size == 0 and acc.raw_size == 0
+        batch = acc.batch()
+        assert batch.num_insertions == 0 and batch.num_deletions == 0
+
+    def test_repeated_add_counts_once(self):
+        acc = ChurnAccumulator()
+        acc.add(0, 1)
+        acc.add(1, 0)  # same undirected edge, reversed
+        acc.add(0, 1, w=2.0)
+        assert acc.raw_size == 3
+        assert acc.net_size == 1
+        batch = acc.batch()
+        assert batch.num_insertions == 1
+        assert batch.add_w[0] == pytest.approx(4.0)  # weights accumulate
+
+    def test_add_then_remove_nets_to_deletion(self):
+        acc = ChurnAccumulator()
+        acc.add(2, 3)
+        acc.remove(3, 2)
+        assert acc.net_size == 1
+        batch = acc.batch()
+        assert batch.num_insertions == 0
+        assert batch.num_deletions == 1
+
+    def test_remove_then_add_keeps_both(self):
+        # Delete-then-insert is *replace*: apply_churn applies the
+        # deletion first, so both operations must survive the window.
+        acc = ChurnAccumulator()
+        acc.remove(2, 3)
+        acc.add(2, 3, w=5.0)
+        assert acc.net_size == 1
+        batch = acc.batch()
+        assert batch.num_insertions == 1 and batch.num_deletions == 1
+
+    def test_net_size_counts_distinct_keys(self):
+        acc = ChurnAccumulator()
+        acc.add_edges([0, 0, 1], [1, 1, 2])
+        acc.remove_edges([5], [6])
+        assert acc.raw_size == 4
+        assert acc.net_size == 3  # (0,1), (1,2), (5,6)
+        assert len(acc) == 3
+
+    def test_batch_deterministic_order(self):
+        a, b = ChurnAccumulator(), ChurnAccumulator()
+        a.add_edges([3, 1, 2], [4, 2, 3])
+        b.add_edges([2, 3, 1], [3, 4, 2])
+        np.testing.assert_array_equal(a.batch().add_u, b.batch().add_u)
+        np.testing.assert_array_equal(a.batch().add_v, b.batch().add_v)
+
+    def test_take_clears(self):
+        acc = ChurnAccumulator()
+        acc.add(0, 1)
+        batch = acc.take()
+        assert batch.num_insertions == 1
+        assert not acc
+        assert acc.raw_size == 0
+
+    def test_replay_equivalence(self, two_cliques):
+        """Applying the accumulated net batch matches replaying the
+        same operations one by one through apply_churn."""
+        ops = [
+            ("add", 0, 10, 1.0),
+            ("add", 10, 0, 2.0),   # duplicate of the edge above
+            ("add", 1, 6, 1.0),
+            ("remove", 1, 6, None),   # cancels the pending insert
+            ("remove", 0, 1, None),   # deletes a base-graph edge
+            ("add", 0, 1, 7.0),       # ... then re-inserts it (replace)
+        ]
+        acc = ChurnAccumulator()
+        replayed = two_cliques
+        for op, u, v, w in ops:
+            if op == "add":
+                acc.add(u, v, w)
+                replayed = apply_churn(
+                    replayed,
+                    EdgeChurn(
+                        add_u=np.array([u]), add_v=np.array([v]),
+                        add_w=np.array([float(w)]),
+                    ),
+                )
+            else:
+                acc.remove(u, v)
+                replayed = apply_churn(
+                    replayed,
+                    EdgeChurn(
+                        del_u=np.array([u]), del_v=np.array([v]),
+                    ),
+                )
+        batched = apply_churn(two_cliques, acc.batch())
+        assert batched.num_edges == replayed.num_edges
+        np.testing.assert_array_equal(batched.index, replayed.index)
+        np.testing.assert_array_equal(batched.edges, replayed.edges)
+        np.testing.assert_allclose(batched.weights, replayed.weights)
+
+    def test_threshold_scenario_net_vs_raw(self):
+        """The satellite fix: thresholds fire on *net* churn, so an
+        add/remove ping-pong of one edge cannot trigger re-detection."""
+        acc = ChurnAccumulator()
+        for _ in range(50):
+            acc.add(0, 1)
+            acc.remove(0, 1)
+        assert acc.raw_size == 100
+        assert acc.net_size == 1

@@ -1,0 +1,203 @@
+"""Unit tests for deficit-round-robin fair-share admission."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service import AdmissionError
+from repro.serving import DEFAULT_TENANT, DeficitRoundRobinScheduler, tenant_of
+
+
+@dataclass(frozen=True)
+class FakeJob:
+    tenant: str
+    label: str
+
+
+def _fill(s, tenant, n, priority=0):
+    return [
+        s.submit(FakeJob(tenant, f"{tenant}-{i}"), priority=priority)
+        for i in range(n)
+    ]
+
+
+class TestTenantOf:
+    def test_bare_request(self):
+        assert tenant_of(FakeJob("acme", "x")) == "acme"
+
+    def test_wrapped_request(self):
+        class Wrapper:
+            request = FakeJob("acme", "x")
+
+        assert tenant_of(Wrapper()) == "acme"
+
+    def test_empty_maps_to_default(self):
+        assert tenant_of(FakeJob("", "x")) == DEFAULT_TENANT
+        assert tenant_of(object()) == DEFAULT_TENANT
+
+
+class TestRoundRobin:
+    def test_interleaves_tenants(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        _fill(s, "heavy", 6)
+        _fill(s, "light", 2)
+        order = [s.pop().label for _ in range(8)]
+        # Light tenant's two jobs are served in the first two rounds,
+        # not behind heavy's backlog.
+        assert order.index("light-0") <= 1
+        assert order.index("light-1") <= 3
+
+    def test_starved_tenant_waits_for_own_backlog_only(self):
+        s = DeficitRoundRobinScheduler(max_pending=256)
+        _fill(s, "heavy", 50)
+        _fill(s, "starved", 1)
+        order = [s.pop().label for _ in range(51)]
+        # One pending job -> served within the first round despite 50
+        # jobs submitted ahead of it.
+        assert order.index("starved-0") <= 1
+
+    def test_priority_order_within_tenant(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        s.submit(FakeJob("t", "low"), priority=0)
+        s.submit(FakeJob("t", "high"), priority=9)
+        s.submit(FakeJob("t", "mid"), priority=4)
+        assert [s.pop().label for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_single_tenant_degenerates_to_fifo(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        _fill(s, "only", 5)
+        assert [s.pop().label for _ in range(5)] == [
+            f"only-{i}" for i in range(5)
+        ]
+
+    def test_three_way_fairness(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        for t in ("a", "b", "c"):
+            _fill(s, t, 4)
+        order = [s.pop().tenant for _ in range(12)]
+        # Every consecutive window of 3 dispatches serves 3 distinct
+        # tenants while all are backlogged.
+        for i in range(0, 12, 3):
+            assert sorted(order[i : i + 3]) == ["a", "b", "c"]
+
+    def test_cost_weighting(self):
+        # Tenant "big" jobs cost 2 quanta: it gets every other round.
+        s = DeficitRoundRobinScheduler(
+            max_pending=64,
+            quantum=1.0,
+            cost_of=lambda j: 2.0 if j.tenant == "big" else 1.0,
+        )
+        _fill(s, "big", 3)
+        _fill(s, "small", 6)
+        order = [s.pop().tenant for _ in range(9)]
+        assert order.count("big") == 3
+        # First big dispatch needs two visits -> small runs first.
+        assert order[0] == "small"
+
+
+class TestQuotas:
+    def test_tenant_at_queue_cap(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        s.set_quota("capped", 2)
+        _fill(s, "capped", 2)
+        with pytest.raises(AdmissionError) as exc:
+            s.submit(FakeJob("capped", "overflow"))
+        assert exc.value.reason == "tenant-queue-full"
+        # Other tenants are unaffected.
+        s.submit(FakeJob("other", "fine"))
+
+    def test_zero_quota_rejects_outright(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        s.set_quota("banned", 0)
+        with pytest.raises(AdmissionError) as exc:
+            s.submit(FakeJob("banned", "never"))
+        assert exc.value.reason == "tenant-queue-full"
+
+    def test_pop_frees_quota(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        s.set_quota("t", 1)
+        _fill(s, "t", 1)
+        s.pop()
+        s.submit(FakeJob("t", "again"))  # no raise
+
+    def test_cancel_frees_quota(self):
+        s = DeficitRoundRobinScheduler(max_pending=64)
+        s.set_quota("t", 1)
+        (ticket,) = _fill(s, "t", 1)
+        assert s.cancel(ticket)
+        s.submit(FakeJob("t", "again"))  # no raise
+
+    def test_default_quota_applies_to_unregistered(self):
+        s = DeficitRoundRobinScheduler(max_pending=64, default_max_queued=1)
+        _fill(s, "unknown", 1)
+        with pytest.raises(AdmissionError):
+            s.submit(FakeJob("unknown", "over"))
+
+    def test_global_bound_still_enforced(self):
+        s = DeficitRoundRobinScheduler(max_pending=3)
+        _fill(s, "a", 2)
+        _fill(s, "b", 1)
+        with pytest.raises(AdmissionError) as exc:
+            s.submit(FakeJob("c", "over"))
+        assert exc.value.reason == "queue-full"
+
+    def test_quota_validation(self):
+        s = DeficitRoundRobinScheduler()
+        with pytest.raises(ValueError):
+            s.set_quota("t", -1)
+        with pytest.raises(ValueError):
+            DeficitRoundRobinScheduler(quantum=0.0)
+
+
+class TestCancellation:
+    def test_cancelled_jobs_never_pop(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        tickets = _fill(s, "t", 3)
+        assert s.cancel(tickets[1])
+        assert [s.pop().label for _ in range(2)] == ["t-0", "t-2"]
+        assert s.depth() == 0
+
+    def test_cancel_twice_is_false(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        (ticket,) = _fill(s, "t", 1)
+        assert s.cancel(ticket)
+        assert not s.cancel(ticket)
+
+    def test_cancel_unknown_ticket(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        assert not s.cancel(12345)
+
+    def test_fully_cancelled_tenant_leaves_rotation(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        for ticket in _fill(s, "ghost", 3):
+            s.cancel(ticket)
+        _fill(s, "real", 1)
+        assert s.pop().tenant == "real"
+        assert s.tenants() == []
+
+
+class TestIntrospection:
+    def test_tenant_depth(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        _fill(s, "a", 2)
+        _fill(s, "b", 1)
+        assert s.tenant_depth("a") == 2
+        assert s.tenant_depth("b") == 1
+        assert s.tenant_depth("nobody") == 0
+        assert s.depth() == 3
+
+    def test_tenants_lists_pending_only(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        _fill(s, "a", 1)
+        _fill(s, "b", 1)
+        assert sorted(s.tenants()) == ["a", "b"]
+        s.pop()
+        s.pop()
+        assert s.tenants() == []
+
+    def test_closed_rejects(self):
+        s = DeficitRoundRobinScheduler(max_pending=16)
+        s.close()
+        with pytest.raises(AdmissionError) as exc:
+            s.submit(FakeJob("t", "late"))
+        assert exc.value.reason == "closed"

@@ -1,0 +1,229 @@
+"""Unit tests for tenants: quotas, churn policy, trigger exactness."""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig
+from repro.generators import make_graph
+from repro.serving import (
+    ChurnPolicy,
+    QuotaExceeded,
+    Tenant,
+    TenantError,
+    TenantQuota,
+    TenantRegistry,
+    UnknownTenant,
+)
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return make_graph("channel", scale="tiny", seed=0)
+
+
+def _absent_pairs(g, count):
+    """``count`` vertex pairs that are not edges of ``g``."""
+    u_arr, v_arr, _ = g.edge_array()
+    present = set(zip(u_arr.tolist(), v_arr.tolist()))
+    u_out, v_out = [], []
+    for u in range(g.num_vertices):
+        v = (u + g.num_vertices // 2) % g.num_vertices
+        a, b = min(u, v), max(u, v)
+        if a != b and (a, b) not in present and (b, a) not in present:
+            u_out.append(a)
+            v_out.append(b)
+            present.add((a, b))
+        if len(u_out) == count:
+            return u_out, v_out
+    raise AssertionError("could not find absent pairs")
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        q = TenantQuota()
+        assert q.max_queued == 8 and q.max_ranks == 8
+        assert q.edge_budget is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queued": -1},
+            {"max_ranks": 0},
+            {"edge_budget": -5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestChurnPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnPolicy(absolute=0)
+        with pytest.raises(ValueError):
+            ChurnPolicy(fraction=0.0)
+        with pytest.raises(ValueError):
+            ChurnPolicy(fraction=1.5)
+
+    def test_absolute_fires_exactly_at_threshold(self):
+        p = ChurnPolicy(absolute=5)
+        assert not p.should_trigger(4, 1000)
+        assert p.should_trigger(5, 1000)
+        assert p.should_trigger(6, 1000)
+
+    def test_fraction_of_m(self):
+        p = ChurnPolicy(fraction=0.1)
+        assert not p.should_trigger(9, 100)
+        assert p.should_trigger(10, 100)
+
+    def test_either_bound_fires(self):
+        p = ChurnPolicy(absolute=100, fraction=0.5)
+        assert p.should_trigger(100, 10_000)  # absolute
+        assert p.should_trigger(6, 10)  # fraction
+        assert not p.should_trigger(5, 10_000)
+
+    def test_unconfigured_never_fires(self):
+        p = ChurnPolicy()
+        assert not p.should_trigger(10**9, 10)
+
+    def test_zero_churn_never_fires(self):
+        assert not ChurnPolicy(absolute=1).should_trigger(0, 100)
+
+
+class TestTenant:
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Tenant("")
+        with pytest.raises(ValueError):
+            Tenant("a/b")
+
+    def test_requires_graph(self):
+        t = Tenant("t")
+        with pytest.raises(TenantError):
+            t.build_request()
+        with pytest.raises(TenantError):
+            t.record_add_edges([0], [1])
+
+    def test_edge_budget_on_load(self, channel):
+        t = Tenant("t", quota=TenantQuota(edge_budget=channel.num_edges - 1))
+        with pytest.raises(QuotaExceeded) as exc:
+            t.load_graph(channel)
+        assert exc.value.limit == "edge_budget"
+
+    def test_edge_budget_on_stream(self, channel):
+        t = Tenant(
+            "t", quota=TenantQuota(edge_budget=channel.num_edges + 2)
+        )
+        t.load_graph(channel)
+        t.record_add_edges([0, 1], [3, 4])
+        with pytest.raises(QuotaExceeded):
+            t.record_add_edges([2], [5])
+
+    def test_trigger_fires_on_net_not_raw(self, channel):
+        t = Tenant("t", churn=ChurnPolicy(absolute=3))
+        t.load_graph(channel)
+        # Two distinct edges, one of them streamed twice: raw 3, net 2.
+        assert not t.record_add_edges([0, 1], [3, 4])
+        assert not t.record_add_edges([0], [3])
+        assert t.accumulator.raw_size == 3
+        assert t.accumulator.net_size == 2
+        # Third *distinct* edge crosses the threshold exactly.
+        assert t.record_add_edges([2], [5])
+
+    def test_add_then_remove_does_not_trigger(self, channel):
+        t = Tenant("t", churn=ChurnPolicy(absolute=2))
+        t.load_graph(channel)
+        assert not t.record_add_edges([0], [3])
+        # Removing the just-streamed edge leaves net churn at 1 (the
+        # deletion key) — still below threshold.
+        assert not t.record_remove_edges([0], [3])
+        assert t.accumulator.net_size == 1
+
+    def test_take_churn_applies_and_resets(self, channel):
+        t = Tenant("t")
+        t.load_graph(channel)
+        m = channel.num_edges
+        u, v = _absent_pairs(channel, 2)
+        t.record_add_edges(u, v)
+        churn = t.take_churn()
+        assert churn.num_insertions == 2
+        assert t.graph.num_edges == m + 2
+        assert t.accumulator.net_size == 0
+        assert t.counters["churn_batches_applied"] == 1
+
+    def test_build_request_clamps_ranks(self, channel):
+        t = Tenant("t", nranks=16, quota=TenantQuota(max_ranks=4))
+        t.load_graph(channel)
+        req = t.build_request()
+        assert req.nranks == 4
+        assert req.tenant == "t"
+        assert req.mode == "batch"
+        assert req.tag == "t/batch"
+
+    def test_build_request_warm_starts_after_absorb(self, channel):
+        t = Tenant("t")
+        t.load_graph(channel)
+        t.absorb(np.zeros(channel.num_vertices, dtype=np.int64), 0.5)
+        req = t.build_request()
+        assert req.mode == "incremental"
+        assert req.previous_assignment is not None
+        assert req.tag == "t/incremental"
+
+    def test_incremental_without_assignment_rejected(self, channel):
+        t = Tenant("t")
+        t.load_graph(channel)
+        with pytest.raises(TenantError):
+            t.build_request(incremental=True)
+
+    def test_reload_resets_solution(self, channel):
+        t = Tenant("t")
+        t.load_graph(channel)
+        t.absorb(np.zeros(channel.num_vertices, dtype=np.int64), 0.5)
+        t.record_add_edges([0], [3])
+        t.load_graph(channel)
+        assert t.assignment is None and t.modularity is None
+        assert t.accumulator.net_size == 0
+
+    def test_negative_vertex_ids_rejected(self, channel):
+        t = Tenant("t")
+        t.load_graph(channel)
+        with pytest.raises(ValueError):
+            t.record_add_edges([-1], [2])
+
+    def test_describe(self, channel):
+        t = Tenant("t")
+        assert "no graph" in t.describe()
+        t.load_graph(channel)
+        assert f"{channel.num_edges}e" in t.describe()
+
+
+class TestTenantRegistry:
+    def test_create_get_remove(self):
+        reg = TenantRegistry()
+        t = reg.create("a", config=LouvainConfig(), nranks=2)
+        assert reg.get("a") is t
+        assert "a" in reg and len(reg) == 1
+        assert reg.names() == ["a"]
+        assert reg.remove("a") is t
+        assert "a" not in reg
+
+    def test_duplicate_rejected(self):
+        reg = TenantRegistry()
+        reg.create("a")
+        with pytest.raises(TenantError):
+            reg.create("a")
+
+    def test_unknown_tenant(self):
+        reg = TenantRegistry()
+        with pytest.raises(UnknownTenant):
+            reg.get("ghost")
+        with pytest.raises(UnknownTenant):
+            reg.remove("ghost")
+
+    def test_iteration_sorted_names(self):
+        reg = TenantRegistry()
+        for name in ("c", "a", "b"):
+            reg.create(name)
+        assert reg.names() == ["a", "b", "c"]
+        assert {t.name for t in reg} == {"a", "b", "c"}

@@ -45,7 +45,9 @@ class TestInMemory:
         db = TuningDB()
         rec = _record(channel)
         db.put(rec)
-        assert db.get(channel.fingerprint()) is rec
+        got = db.get(channel.fingerprint())
+        assert got.fingerprint == rec.fingerprint
+        assert got.last_used > 0  # hits stamp recency for LRU GC
         assert channel.fingerprint() in db
         assert len(db) == 1
 
@@ -163,3 +165,84 @@ class TestRecord:
         assert "guard ok" in _record(channel).summary()
         bad = _record(channel, quality_guard_passed=False)
         assert "FAILED" in bad.summary()
+
+
+def _graphs(n):
+    """Distinct tiny graphs (distinct fingerprints) for GC tests."""
+    return [make_graph("channel", scale="tiny", seed=s) for s in range(n)]
+
+
+class TestGarbageCollection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuningDB(max_entries=0)
+        with pytest.raises(ValueError):
+            TuningDB(max_age_seconds=0.0)
+
+    def test_size_cap_evicts_lru(self):
+        gs = _graphs(4)
+        db = TuningDB(max_entries=3)
+        for i, g in enumerate(gs[:3]):
+            db.put(_record(g, created=float(i + 1)))
+        # Touch the oldest record so it becomes most recently used.
+        assert db.get(gs[0].fingerprint()) is not None
+        db.put(_record(gs[3], created=100.0))
+        assert len(db) == 3
+        # gs[1] (created=2, never used) was the LRU entry.
+        assert db.get(gs[1].fingerprint()) is None
+        assert db.get(gs[0].fingerprint()) is not None
+        assert db.gc_evictions == 1
+
+    def test_age_prune(self):
+        gs = _graphs(2)
+        db = TuningDB(max_age_seconds=3600.0)
+        db.put(_record(gs[0], created=1.0))  # epoch 1970: long stale
+        db.put(_record(gs[1], created=0.0))  # created stamped "now"
+        assert db.gc() == 0  # put() already pruned the stale one
+        assert len(db) == 1
+        assert db.get(gs[1].fingerprint()) is not None
+
+    def test_get_refreshes_last_used(self):
+        gs = _graphs(3)
+        db = TuningDB(max_entries=2)
+        db.put(_record(gs[0], created=1.0))
+        db.put(_record(gs[1], created=2.0))
+        # Touch the older record; the untouched one becomes the LRU.
+        assert db.get(gs[0].fingerprint()).last_used > 0
+        db.put(_record(gs[2], created=0.0))
+        assert db.get(gs[1].fingerprint()) is None
+        assert db.get(gs[0].fingerprint()) is not None
+
+    def test_gc_on_load(self, tmp_path):
+        gs = _graphs(3)
+        path = tmp_path / "tune.json"
+        writer = TuningDB(path)
+        for i, g in enumerate(gs):
+            writer.put(_record(g, created=float(i + 1)))
+        assert len(writer) == 3
+        capped = TuningDB(path, max_entries=2)
+        assert len(capped) == 2
+        assert capped.gc_evictions == 1
+        # The pruned document was persisted (atomic rewrite).
+        assert len(json.loads(path.read_text())["entries"]) == 2
+
+    def test_gc_persists(self, tmp_path):
+        gs = _graphs(3)
+        path = tmp_path / "tune.json"
+        db = TuningDB(path)
+        for g in gs:
+            db.put(_record(g))
+        db.max_entries = 1
+        assert db.gc() == 2
+        assert len(TuningDB(path)) == 1
+
+    def test_unbounded_db_never_drops(self):
+        db = TuningDB()
+        for g in _graphs(5):
+            db.put(_record(g, created=1.0))
+        assert db.gc() == 0
+        assert len(db) == 5
+
+    def test_last_used_round_trips(self, channel):
+        rec = _record(channel, last_used=42.0)
+        assert TuningRecord.from_dict(rec.to_dict()).last_used == 42.0

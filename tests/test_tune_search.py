@@ -10,7 +10,6 @@ from repro.tune import (
     SearchSpace,
     TunerSettings,
     TuningDB,
-    default_space,
     plan_for_graph,
     predict_cost,
     screen,
@@ -151,7 +150,12 @@ class TestTuneGraph:
             channel, db, space=SMALL_SPACE, settings=FAST
         )
         assert cached2
-        assert again is rec
+        # A DB hit stamps last_used (for LRU GC), so identity is not
+        # preserved — the plan itself must be.
+        assert again.fingerprint == rec.fingerprint
+        assert again.config == rec.config
+        assert again.ranks == rec.ranks
+        assert again.last_used > 0
 
     def test_force_reruns(self, channel):
         db = TuningDB()
