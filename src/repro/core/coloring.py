@@ -63,11 +63,10 @@ def distributed_coloring(
     colors = np.full(nloc, UNCOLORED, dtype=np.int64)
     ctargets = dg.compressed_targets(plan)
     rows = np.repeat(np.arange(nloc, dtype=np.int64), np.diff(dg.index))
-    self_mask = dg.edges == rows + dg.vbegin
+    row_gid = np.asarray(dg.from_local(rows))
+    self_mask = dg.edges == row_gid
 
-    my_prio = _priorities(
-        np.arange(dg.vbegin, dg.vend, dtype=np.uint64), seed
-    )
+    my_prio = _priorities(dg.local_vertex_ids().astype(np.uint64), seed)
     ghost_prio = _priorities(plan.ghost_ids.astype(np.uint64), seed)
     all_prio = np.concatenate([my_prio, ghost_prio])
 
@@ -94,7 +93,7 @@ def distributed_coloring(
             cr = rows[contested]
             higher = (target_prio[contested] > my_prio[cr]) | (
                 (target_prio[contested] == my_prio[cr])
-                & (dg.edges[contested] > (cr + dg.vbegin))
+                & (dg.edges[contested] > row_gid[contested])
             )
             np.logical_or.at(beaten, cr, higher)
         winners = uncolored & ~beaten
@@ -139,7 +138,7 @@ def verify_coloring(
     rows = np.repeat(
         np.arange(dg.num_local, dtype=np.int64), np.diff(dg.index)
     )
-    self_mask = dg.edges == rows + dg.vbegin
+    self_mask = dg.edges == np.asarray(dg.from_local(rows))
     target_colors = (
         np.concatenate([colors, ghost_colors])[ctargets]
         if len(ctargets)

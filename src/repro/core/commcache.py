@@ -124,7 +124,7 @@ class CommunityCache:
     Subscriber side: ``ids`` (sorted), ``tot``, ``size`` mirror the
     owners' dense C_info entries for every remotely-owned community this
     rank has referenced so far this phase.  Owner side: ``subs[r]``
-    holds the *local slots* (community id - vbegin) rank ``r`` is
+    holds the *local slots* (``dg.to_local(community id)``) rank ``r`` is
     subscribed to, and ``changed`` marks owned slots touched by deltas
     since the last push.
 
@@ -205,7 +205,7 @@ class CommunityCache:
         tot_out = np.empty(len(needed), dtype=np.float64)
         size_out = np.empty(len(needed), dtype=np.int64)
         if np.any(mine):
-            loc = needed[mine] - dg.vbegin
+            loc = dg.to_local(needed[mine])
             tot_out[mine] = tot_owned[loc]
             size_out[mine] = size_owned[loc]
         if len(remote):
@@ -229,7 +229,6 @@ class CommunityCache:
         like the pull protocol's reply leg.
         """
         dg = self.dg
-        vb = dg.vbegin
         owners = dg.owner_of(wanted)
         requests = [
             ids for (ids,) in split_by_rank(owners, comm.size, wanted)
@@ -241,7 +240,7 @@ class CommunityCache:
                 if ids is None or not len(ids):
                     replies.append(np.empty((2, 0)))
                     continue
-                loc = ids - vb
+                loc = np.asarray(dg.to_local(ids))
                 self.subscribe(r, loc)
                 replies.append(
                     np.stack(
@@ -347,7 +346,6 @@ class CommunityCache:
         hint's info always rides the same exchange's push.
         """
         dg = self.dg
-        vb = dg.vbegin
         p = comm.size
         uniq, agg_tot, agg_size = aggregate_deltas(old, new, deg)
         owners = dg.owner_of(uniq)
@@ -382,19 +380,25 @@ class CommunityCache:
                 packed, hid, hrank = req
                 if len(packed):
                     ids, dtot, dsize = unpack_info(packed)
-                    loc = ids - vb
+                    loc = np.asarray(dg.to_local(ids))
                     np.add.at(tot_owned, loc, dtot)
                     np.add.at(size_owned, loc, dsize)
                     changed[loc] = True
                 for r in np.unique(hrank):
-                    self.subscribe(int(r), hid[hrank == r] - vb)
+                    self.subscribe(
+                        int(r), np.asarray(dg.to_local(hid[hrank == r]))
+                    )
             replies = []
             for r in range(p):
                 sel = self.subs[r]
                 if len(sel):
                     sel = sel[changed[sel]]
                 replies.append(
-                    pack_info(sel + vb, tot_owned[sel], size_owned[sel])
+                    pack_info(
+                        np.asarray(dg.from_local(sel)),
+                        tot_owned[sel],
+                        size_owned[sel],
+                    )
                 )
             changed[:] = False
             return replies

@@ -90,6 +90,7 @@ class _GhostChannel:
         self._last_sent: np.ndarray | None = None
         self._send_cat: np.ndarray | None = None
         self._send_rank: np.ndarray | None = None
+        self._send_loc: np.ndarray | None = None
 
     def send_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """Flattened ghost send plan: (owned vertex id, destination rank)
@@ -113,6 +114,13 @@ class _GhostChannel:
             )
         return self._send_cat, self._send_rank
 
+    def send_local(self) -> np.ndarray:
+        """Local slots of the send-plan vertices (cached ``to_local``)."""
+        if self._send_loc is None:
+            send_cat, _ = self.send_pairs()
+            self._send_loc = np.asarray(self.dg.to_local(send_cat))
+        return self._send_loc
+
     def refresh(self, comm: Communicator, local_comm: np.ndarray) -> np.ndarray:
         if not self.delta or self._ghost is None:
             self._ghost = self.dg.exchange_ghost_values(
@@ -127,13 +135,31 @@ class _GhostChannel:
             # full refresh happens on the same round everywhere, so the
             # branch is taken in lockstep.
             return self._ghost  # spmdlint: ignore[SPMD002]
-        vb = self.dg.vbegin
+        return self._exchange_changed(comm, local_comm)
+
+    def publish(
+        self, comm: Communicator, local_comm: np.ndarray
+    ) -> np.ndarray:
+        """Ship values changed since the last exchange, whatever the
+        transport.  Used after the sweep so the modularity estimate sees
+        the post-move assignment of every ghost; the sweep's own next
+        ``refresh`` then sends nothing new (delta mode) or identical
+        full values (baseline mode), so move trajectories are untouched.
+        """
+        if self._ghost is None:
+            return self.refresh(comm, local_comm)
+        return self._exchange_changed(comm, local_comm)
+
+    def _exchange_changed(
+        self, comm: Communicator, local_comm: np.ndarray
+    ) -> np.ndarray:
         send_cat, send_rank = self.send_pairs()
+        send_loc = self.send_local()
         changed = local_comm != self._last_sent
-        m = changed[send_cat - vb]
+        m = changed[send_loc]
         sel = send_cat[m]
         payloads = split_by_rank(
-            send_rank[m], comm.size, sel, local_comm[sel - vb]
+            send_rank[m], comm.size, sel, local_comm[send_loc[m]]
         )
         received = comm.alltoall(payloads, category="ghost_comm")
         for r, (ids, values) in enumerate(received):
@@ -237,7 +263,8 @@ def _sweep_round(
         # through the owner, so the info rides this exchange's push leg
         # instead of a fallback pull next round.
         send_cat, send_rank = ghosts.send_pairs()
-        hm = moved[send_cat - dg.vbegin]
+        send_loc = ghosts.send_local()
+        hm = moved[send_loc]
         cache.exchange_deltas(
             comm,
             old=local_comm[moved],
@@ -245,7 +272,7 @@ def _sweep_round(
             deg=k[moved],
             tot_owned=tot_owned,
             size_owned=size_owned,
-            hint_ids=res.proposal[send_cat[hm] - dg.vbegin],
+            hint_ids=res.proposal[send_loc[hm]],
             hint_ranks=send_rank[hm],
         )
     else:
@@ -289,16 +316,16 @@ def louvain_phase_distributed(
     plan = dg.build_ghost_plan(comm)
     ctargets = dg.compressed_targets(plan)
     nloc = dg.num_local
-    vb = dg.vbegin
     w = dg.total_weight
     n_global = dg.num_global_vertices
     k = dg.local_degrees()
     rows = np.repeat(np.arange(nloc, dtype=np.int64), np.diff(dg.index))
-    self_mask = dg.edges == rows + vb
+    self_mask = dg.edges == dg.from_local(rows)
 
     # Each vertex starts in its own community; owners of the community id
-    # range coincide with owners of the vertex range, so C_info is dense.
-    local_comm = np.arange(vb, dg.vend, dtype=np.int64)
+    # set coincide with owners of the vertex set, so C_info is dense over
+    # the owned slots.
+    local_comm = dg.local_vertex_ids().copy()
     tot_owned = k.copy()
     size_owned = np.ones(nloc, dtype=np.int64)
     ghosts = _GhostChannel(dg, plan, config)
@@ -404,28 +431,41 @@ def louvain_phase_distributed(
             moved |= round_moved
             moves += n
 
-        # (v) global modularity (lines 12-13).  The stale-ghost view is
-        # intentional: remote moves from this iteration are not visible
-        # until the next exchange (§III-B).
+        # (v) global modularity (lines 12-13).  Publish this round's
+        # moves first (a changed-values-only payload) so both sides of
+        # every stored entry evaluate under the *post-move* assignment:
+        # the estimate is then a function of the global assignment alone
+        # and cannot depend on which endpoints happen to be rank-local
+        # under the current layout (a requirement for repartitioned runs
+        # to stay bit-identical).  The sweep itself keeps the
+        # intentionally stale view of §III-B — only the convergence test
+        # sees fresh values.
+        ghost_comm = ghosts.publish(comm, local_comm)
         if len(ctargets):
-            target_after = np.concatenate([local_comm, ghost_comm])[ctargets]
+            target_after = np.concatenate(
+                [local_comm, ghost_comm]
+            )[ctargets]
             intra = local_comm[rows] == target_after
             local_in = float(dg.weights[intra].sum())
         else:
             local_in = 0.0
         comm.charge_compute(dg.num_local_entries)
         local_inactive = et.update(moved) if et is not None else 0
+        # a_c^2 is summed *before* dividing by w^2 (like
+        # _exact_modularity) so the reduction is exact for integer
+        # weights — the per-rank grouping of communities then cannot
+        # perturb Q, which keeps repartitioned layouts bit-identical.
         partial = np.array(
             [
                 local_in,
-                float(np.square(tot_owned / w).sum()) if w > 0 else 0.0,
+                float(np.square(tot_owned).sum()),
                 float(moves),
                 float(active.sum()),
             ]
         )
         total = comm.allreduce(partial, category="allreduce")
         q = (
-            total[0] / w - config.resolution * total[1]
+            total[0] / w - config.resolution * total[1] / (w * w)
             if w > 0
             else 0.0
         )
@@ -512,22 +552,19 @@ def _fetch_community_info(
     (request + reply), charged to ``community_comm`` — the traffic the
     paper's §V-A profile attributes ~34% of the runtime to.
     """
-    vb = dg.vbegin
-    owners = dg.owner_of(needed)
-    # ``needed`` is sorted, so owners is non-decreasing: one searchsorted
-    # yields the per-rank slices (no per-rank boolean masks).
-    bounds = np.searchsorted(owners, np.arange(comm.size + 1, dtype=np.int64))
+    owners = np.asarray(dg.owner_of(needed))
+    # ``needed`` is sorted; split_by_rank keeps that order within each
+    # rank's slice (stable), so payloads stay deterministic even when a
+    # general partition makes ``owners`` non-monotonic.
     requests = [
-        needed[bounds[r]:bounds[r + 1]]
-        if r != comm.rank
-        else np.empty(0, np.int64)
-        for r in range(comm.size)
+        ids if r != comm.rank else np.empty(0, np.int64)
+        for r, (ids,) in enumerate(split_by_rank(owners, comm.size, needed))
     ]
     incoming = comm.alltoall(requests, category="community_comm")
     replies = []
     for ids in incoming:
         if len(ids):
-            loc = ids - vb
+            loc = dg.to_local(ids)
             replies.append(
                 np.stack([tot_owned[loc], size_owned[loc].astype(np.float64)])
             )
@@ -539,7 +576,7 @@ def _fetch_community_info(
     size_out = np.empty(len(needed), dtype=np.int64)
     mine = owners == comm.rank
     if np.any(mine):
-        loc = needed[mine] - vb
+        loc = dg.to_local(needed[mine])
         tot_out[mine] = tot_owned[loc]
         size_out[mine] = size_owned[loc]
     for r in range(comm.size):
@@ -573,10 +610,9 @@ def _apply_community_deltas(
     )
     received = comm.alltoall(outgoing, category="community_comm")
 
-    vb = dg.vbegin
     for r, (rids, rtot, rsize) in enumerate(received):
         if len(rids):
-            loc = rids - vb
+            loc = dg.to_local(rids)
             np.add.at(tot_owned, loc, rtot)
             np.add.at(size_owned, loc, rsize)
 
@@ -875,6 +911,18 @@ def distributed_louvain(
         iterations.extend(out.stats)
         n_vertices = dg.num_global_vertices
         n_edges = comm.allreduce(dg.num_local_entries, category="allreduce")
+        # Achieved layout quality of the graph this phase ran on: the
+        # cross-rank fraction of stored adjacency entries.  One small
+        # allreduce; this is what repartition="community" shrinks and
+        # what the tuner's cost model wants fed back.
+        cross = int(np.count_nonzero(~dg.is_owned(dg.edges)))
+        cross_total = comm.allreduce(
+            np.array([cross, dg.num_local_entries], dtype=np.int64),
+            category="partition",
+        )
+        ghost_fraction = (
+            float(cross_total[0] / cross_total[1]) if cross_total[1] else 0.0
+        )
         phases.append(
             PhaseStats(
                 phase=phase,
@@ -884,6 +932,7 @@ def distributed_louvain(
                 num_vertices=n_vertices,
                 num_edges=n_edges // 2,  # stored entries ~ 2 per edge
                 exited_by_inactive=out.exited_by_inactive,
+                ghost_fraction=ghost_fraction,
             )
         )
         if config.validate_invariants:
@@ -902,7 +951,8 @@ def distributed_louvain(
             ).raise_if_failed()
 
         new_dg, local_new = rebuild_distributed(
-            comm, dg, out.local_comm, out.ghost_comm
+            comm, dg, out.local_comm, out.ghost_comm,
+            repartition=config.repartition,
         )
         # The per-iteration modularity is computed against the stale
         # ghost view (the paper's semantics).  The coarsened graph gives
@@ -910,14 +960,14 @@ def distributed_louvain(
         # degrees are a_c, both fully synchronised after the rebuild.
         final_mod = _exact_modularity(comm, new_dg, config.resolution)
         # Fold this phase into the original-vertex assignment: the new
-        # meta id of original vertex o is local_new[x - vb] at the owner
-        # of o's current meta vertex x.
-        vb_old = dg.vbegin
+        # meta id of original vertex o is local_new[to_local(x)] at the
+        # owner of o's current meta vertex x.
+        old_dg = dg
         orig_slice = remote_lookup(
             comm,
-            dg.offsets,
+            old_dg.owner_of,
             orig_slice,
-            lambda ids: local_new[ids - vb_old],
+            lambda ids: local_new[old_dg.to_local(ids)],
             category="rebuild",
         )
         if phase_assignments is not None:

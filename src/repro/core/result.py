@@ -37,6 +37,10 @@ class PhaseStats:
     num_vertices: int
     num_edges: int
     exited_by_inactive: bool = False  # ETC's 90%-inactive exit fired
+    #: Achieved cross-rank stored-entry fraction of the graph this phase
+    #: ran on (distributed runs; -1.0 when not measured, e.g. serial
+    #: runs or pre-existing checkpoints).
+    ghost_fraction: float = -1.0
 
 
 @dataclass

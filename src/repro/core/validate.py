@@ -76,19 +76,18 @@ def audit_community_info(
     np.add.at(part_tot, inv, k)
     np.add.at(part_size, inv, 1)
 
-    owners = np.searchsorted(dg.offsets, uniq, side="right") - 1
+    owners = np.asarray(dg.owner_of(uniq))
     outgoing = []
     for r in range(comm.size):
         m = owners == r
         outgoing.append((uniq[m], part_tot[m], part_size[m]))
     received = comm.alltoall(outgoing, category="other")
 
-    vb = dg.vbegin
     true_tot = np.zeros(dg.num_local)
     true_size = np.zeros(dg.num_local, dtype=np.int64)
     for ids, tots, sizes in received:
         if len(ids):
-            loc = ids - vb
+            loc = dg.to_local(ids)
             np.add.at(true_tot, loc, tots)
             np.add.at(true_size, loc, sizes)
 
@@ -98,14 +97,16 @@ def audit_community_info(
     for c in bad_tot[:5]:
         report.record(
             False,
-            f"rank {comm.rank}: a_c mismatch for community {vb + c}: "
+            f"rank {comm.rank}: a_c mismatch for community "
+            f"{int(dg.from_local(int(c)))}: "
             f"maintained {tot_owned[c]}, actual {true_tot[c]}",
         )
     bad_size = np.flatnonzero(true_size != size_owned)
     for c in bad_size[:5]:
         report.record(
             False,
-            f"rank {comm.rank}: size mismatch for community {vb + c}: "
+            f"rank {comm.rank}: size mismatch for community "
+            f"{int(dg.from_local(int(c)))}: "
             f"maintained {size_owned[c]}, actual {true_size[c]}",
         )
     return report.merge_global(comm)
@@ -166,12 +167,11 @@ def audit_ghost_coherence(
             f"({len(ghost_comm)} entries for {plan.num_ghosts} ghosts)",
         )
         return report.merge_global(comm)
-    vb = dg.vbegin
     truth = remote_lookup(
         comm,
-        dg.offsets,
+        dg.owner_of,
         plan.ghost_ids,
-        lambda ids: local_comm[ids - vb],
+        lambda ids: local_comm[dg.to_local(ids)],
         category="other",
     )
     bad = np.flatnonzero(truth != ghost_comm)

@@ -19,7 +19,13 @@ from .distalgo import (
 from .distgraph import DistGraph, GhostPlan
 from .edgelist import EdgeList
 from .metrics import GraphStats, connected_components, graph_stats, is_connected
-from .partition import even_edge, even_vertex, local_counts, owner_of
+from .partition import (
+    even_edge,
+    even_vertex,
+    local_counts,
+    owner_of,
+    place_communities,
+)
 from .textio import (
     TextFormatError,
     convert_to_binary,
@@ -48,6 +54,7 @@ __all__ = [
     "is_connected",
     "local_counts",
     "owner_of",
+    "place_communities",
     "TextFormatError",
     "convert_to_binary",
     "read_edgelist",

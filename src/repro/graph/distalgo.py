@@ -41,7 +41,7 @@ def distributed_components(
     ctargets = dg.compressed_targets(plan)
     nloc = dg.num_local
     rows = np.repeat(np.arange(nloc, dtype=np.int64), np.diff(dg.index))
-    labels = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+    labels = dg.local_vertex_ids().copy()
 
     for _ in range(max_rounds):
         ghost_labels = dg.exchange_ghost_values(
@@ -70,7 +70,7 @@ def distributed_num_components(comm: Communicator, dg: DistGraph) -> int:
     labels = distributed_components(comm, dg)
     # A component is counted by its representative: the vertex whose
     # label equals its own id (exactly one per component).
-    mine = np.arange(dg.vbegin, dg.vend, dtype=np.int64)
+    mine = dg.local_vertex_ids()
     local_roots = int(np.count_nonzero(labels == mine))
     return int(comm.allreduce(local_roots, category="other"))
 
@@ -137,9 +137,9 @@ def distributed_label_counts(
     owned = np.zeros(dg.num_local, dtype=np.int64)
     for ids, counts in incoming:
         if len(ids):
-            np.add.at(owned, ids - dg.vbegin, counts)
+            np.add.at(owned, dg.to_local(ids), counts)
     replies = [
-        owned[ids - dg.vbegin] if len(ids) else np.empty(0, np.int64)
+        owned[dg.to_local(ids)] if len(ids) else np.empty(0, np.int64)
         for ids, _ in incoming
     ]
     answers = comm.alltoall(replies, category="other")

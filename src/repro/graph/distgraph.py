@@ -83,7 +83,9 @@ class DistGraph:
     Attributes
     ----------
     offsets:
-        Global vertex partition, ``int64[p + 1]``.
+        Global vertex partition, ``int64[p + 1]``, when the partition is
+        contiguous (the paper's layout); ``None`` for a general
+        partition, in which case ``owned_ids``/``rank_of`` describe it.
     rank:
         Owning rank id.
     index / edges / weights:
@@ -91,9 +93,18 @@ class DistGraph:
     total_weight:
         Global ``sum_u k_u`` (replicated on every rank — the paper keeps
         this as part of the modularity denominator).
+    owned_ids:
+        General partition only: sorted global ids of the vertices this
+        rank owns; CSR row ``i`` is vertex ``owned_ids[i]``.
+    rank_of:
+        General partition only: ``int64[num_global_vertices]`` owner map
+        (replicated on every rank, like ``offsets`` is).
+    rank_count:
+        General partition only: total rank count (``offsets`` carries it
+        implicitly in the contiguous case).
     """
 
-    offsets: np.ndarray
+    offsets: np.ndarray | None
     rank: int
     index: np.ndarray
     edges: np.ndarray
@@ -102,28 +113,48 @@ class DistGraph:
     _compressed: np.ndarray | None = field(default=None, repr=False)
     _plan: GhostPlan | None = field(default=None, repr=False)
     _owner_bounds: np.ndarray | None = field(default=None, repr=False)
+    owned_ids: np.ndarray | None = field(default=None, repr=False)
+    rank_of: np.ndarray | None = field(default=None, repr=False)
+    rank_count: int | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------
     @property
+    def is_general(self) -> bool:
+        """True when the partition is non-contiguous (owned_ids-based)."""
+        return self.owned_ids is not None
+
+    @property
     def nranks(self) -> int:
-        return len(self.offsets) - 1
+        if self.offsets is not None:
+            return len(self.offsets) - 1
+        assert self.rank_count is not None
+        return self.rank_count
 
     @property
     def num_global_vertices(self) -> int:
-        return int(self.offsets[-1])
+        if self.offsets is not None:
+            return int(self.offsets[-1])
+        assert self.rank_of is not None
+        return len(self.rank_of)
 
     @property
     def vbegin(self) -> int:
+        if self.offsets is None:
+            raise ValueError("vbegin is undefined for a general partition")
         return int(self.offsets[self.rank])
 
     @property
     def vend(self) -> int:
+        if self.offsets is None:
+            raise ValueError("vend is undefined for a general partition")
         return int(self.offsets[self.rank + 1])
 
     @property
     def num_local(self) -> int:
+        if self.owned_ids is not None:
+            return len(self.owned_ids)
         return self.vend - self.vbegin
 
     @property
@@ -136,17 +167,46 @@ class DistGraph:
         return self.owner_of(vertices)
 
     def owner_of(self, ids: np.ndarray | int):
-        """Vectorised owner lookup over the cached partition boundaries.
+        """Vectorised owner lookup.
 
-        Equivalent to ``searchsorted(offsets, ids, side="right") - 1``
-        but against the interior boundaries ``offsets[1:-1]`` (computed
-        once and reused), which drops the per-call slice/subtract the
-        hot paths — community-info fetch, delta routing, ghost-plan
-        construction — used to repeat every round.
+        Contiguous partitions search the cached interior boundaries
+        ``offsets[1:-1]`` (computed once and reused); general partitions
+        index the replicated ``rank_of`` map directly.
         """
+        if self.rank_of is not None:
+            return self.rank_of[ids]
+        assert self.offsets is not None
         if self._owner_bounds is None:
             self._owner_bounds = np.ascontiguousarray(self.offsets[1:-1])
         return np.searchsorted(self._owner_bounds, ids, side="right")
+
+    def to_local(self, ids: np.ndarray | int):
+        """Local slot of each *owned* global vertex id."""
+        if self.owned_ids is not None:
+            return np.searchsorted(self.owned_ids, ids)
+        return ids - self.vbegin
+
+    def from_local(self, slots: np.ndarray | int):
+        """Global id of each local slot (inverse of :meth:`to_local`)."""
+        if self.owned_ids is not None:
+            return self.owned_ids[slots]
+        return slots + self.vbegin
+
+    def is_owned(self, ids: np.ndarray | int):
+        """Whether each global id is owned by this rank."""
+        if self.rank_of is not None:
+            return self.rank_of[ids] == self.rank
+        return (ids >= self.vbegin) & (ids < self.vend)
+
+    def local_vertex_ids(self) -> np.ndarray:
+        """Global ids of owned vertices, in local-slot order (sorted).
+
+        General partitions return the internal ``owned_ids`` array —
+        treat the result as read-only.
+        """
+        if self.owned_ids is not None:
+            return self.owned_ids
+        return np.arange(self.vbegin, self.vend, dtype=np.int64)
 
     def local_degrees(self) -> np.ndarray:
         """Weighted degree of each owned vertex."""
@@ -163,7 +223,7 @@ class DistGraph:
         rows = np.repeat(
             np.arange(self.num_local, dtype=np.int64), np.diff(self.index)
         )
-        mask = self.edges == (rows + self.vbegin)
+        mask = self.edges == self.from_local(rows)
         np.add.at(out, rows[mask], self.weights[mask])
         return out
 
@@ -188,7 +248,7 @@ class DistGraph:
             # (built right after distribution, invalidated together at
             # coarsening): all ranks hit the cache, or none do.
             return self._plan  # spmdlint: ignore[SPMD002]
-        mine = (self.edges >= self.vbegin) & (self.edges < self.vend)
+        mine = self.is_owned(self.edges)
         ghosts = np.unique(self.edges[~mine])
         owners = self.owner_of(ghosts)
         # Scan cost: one pass over the local edge list (Algorithm 4 l.2-7).
@@ -220,8 +280,9 @@ class DistGraph:
         equivalent of the per-edge hash-map lookup in the paper's Fig. 1.
         """
         if self._compressed is None:
-            out = self.edges - self.vbegin
-            mask = (self.edges < self.vbegin) | (self.edges >= self.vend)
+            mask = ~self.is_owned(self.edges)
+            out = np.empty(len(self.edges), dtype=np.int64)
+            out[~mask] = self.to_local(self.edges[~mask])
             slots = np.searchsorted(plan.ghost_ids, self.edges[mask])
             out[mask] = self.num_local + slots
             self._compressed = out
@@ -248,13 +309,13 @@ class DistGraph:
             )
         if use_neighbor_collectives:
             payload = {
-                r: local_values[ids - self.vbegin]
+                r: local_values[self.to_local(ids)]
                 for r, ids in sorted(plan.send_ids.items())
             }
             got = comm.neighbor_alltoall(payload, category=category)
         else:
             payload_list = [
-                local_values[plan.send_ids[r] - self.vbegin]
+                local_values[self.to_local(plan.send_ids[r])]
                 if r in plan.send_ids
                 else np.empty(0, local_values.dtype)
                 for r in range(comm.size)
@@ -381,16 +442,12 @@ class DistGraph:
     def to_edgelist_local(self) -> EdgeList:
         """Owned edges as an EdgeList (edges with both endpoints owned
         appear once; cut edges appear with the owned endpoint first)."""
-        rows = (
-            np.repeat(
-                np.arange(self.num_local, dtype=np.int64),
-                np.diff(self.index),
-            )
-            + self.vbegin
+        rows = np.repeat(self.local_vertex_ids(), np.diff(self.index))
+        keep = (
+            (rows < self.edges)
+            | ~self.is_owned(self.edges)
+            | (rows == self.edges)
         )
-        keep = (rows < self.edges) | (
-            (self.edges < self.vbegin) | (self.edges >= self.vend)
-        ) | (rows == self.edges)
         return EdgeList(
             num_vertices=self.num_global_vertices,
             u=rows[keep],

@@ -467,6 +467,16 @@ class Engine:
                 # A hit re-serves stored work; only fresh runs add
                 # modelled time to the workload aggregate.
                 self.metrics.observe_trace(result.trace, result.elapsed)
+                measured = [
+                    p.ghost_fraction
+                    for p in result.phases
+                    if p.ghost_fraction >= 0.0
+                ]
+                if measured:
+                    self.metrics.set_gauge(
+                        "last_ghost_fraction",
+                        float(sum(measured) / len(measured)),
+                    )
         job.done.set()
 
     def _worker_loop(self) -> None:

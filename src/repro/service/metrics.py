@@ -89,7 +89,10 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.counters: Counter[str] = Counter()
-        self.gauges: dict[str, int] = {"queue_depth": 0, "running": 0}
+        self.gauges: dict[str, int | float] = {
+            "queue_depth": 0,
+            "running": 0,
+        }
         self.queue_latency = LatencyHistogram()
         self.run_latency = LatencyHistogram()
         self._trace_seconds: Counter[str] = Counter()
@@ -101,7 +104,7 @@ class ServiceMetrics:
         with self._lock:
             self.counters[name] += by
 
-    def set_gauge(self, name: str, value: int) -> None:
+    def set_gauge(self, name: str, value: int | float) -> None:
         with self._lock:
             self.gauges[name] = value
 

@@ -18,7 +18,11 @@ The model mirrors the per-iteration structure of Algorithm 3:
 * the modularity/counters allreduce, doubled for ETC's extra
   inactive-count vote (``allreduce``);
 
-plus per-phase graph reconstruction and one-time ingest.  Variant
+plus per-phase graph reconstruction and one-time ingest.  Under
+``repartition="community"`` the coarse phases' ghost/community legs use
+the *achieved* ghost fraction fed back by prior repartitioned runs (or
+a fixed discount before any feedback exists), and each phase boundary
+is charged a one-time migration/placement term.  Variant
 effects enter as *work multipliers*: ET deactivates vertices (stronger
 on skewed graphs, Table I), threshold cycling truncates early phases
 (Fig. 2), ETC exits phases at its inactive fraction.
@@ -55,6 +59,10 @@ _PHASE_SHRINK = 0.25
 _PUSH_PAYLOAD_FACTOR = 0.4
 #: Payload shrink of the ghost delta refresh (unmoved vertices skip).
 _DELTA_PAYLOAD_FACTOR = 0.45
+#: Fallback coarse-phase ghost-fraction discount under
+#: ``repartition="community"`` when the featurizer carries no measured
+#: feedback yet (achieved fractions, once observed, replace this guess).
+_REPARTITION_GHOST_FACTOR = 0.7
 
 
 @dataclass(frozen=True)
@@ -141,20 +149,34 @@ def predict_cost(
         else None
     )
 
-    compute = ghost = community = allreduce = rebuild = 0.0
+    repartitioned = config.repartition == "community" and p > 1
+    # Coarse phases (k >= 1) run on the community-placed layout; use the
+    # measured feedback when a prior repartitioned run reported it, else
+    # a fixed optimistic discount.  Phase 0 always sees the input split.
+    if repartitioned:
+        achieved = features.achieved_ghost_at(p)
+        gf_coarse = (
+            achieved if achieved is not None
+            else gf * _REPARTITION_GHOST_FACTOR
+        )
+    else:
+        gf_coarse = gf
+
+    compute = ghost = community = allreduce = rebuild = partition = 0.0
     size = 1.0  # relative size of the current phase's graph
-    for _ in range(phases):
+    for k in range(phases):
         e = entries_per_rank * size
+        gf_k = gf if k == 0 else gf_coarse
         per_iter_compute = machine.compute_cost(e * work_factor)
 
-        ghost_bytes = gf * e * _GHOST_ENTRY_BYTES
+        ghost_bytes = gf_k * e * _GHOST_ENTRY_BYTES
         if config.ghost_delta_updates:
             ghost_bytes *= _DELTA_PAYLOAD_FACTOR
         per_iter_ghost = machine.exchange_leg_cost(
             int(ghost_bytes), int(ghost_bytes), p, rank=0, degree=degree
         )
 
-        comm_bytes = gf * e * _COMM_INFO_BYTES
+        comm_bytes = gf_k * e * _COMM_INFO_BYTES
         if config.community_push_updates:
             leg = machine.exchange_leg_cost(
                 int(comm_bytes * _PUSH_PAYLOAD_FACTOR),
@@ -182,6 +204,14 @@ def predict_cost(
         rebuild += machine.alltoallv_cost(
             rebuild_bytes, rebuild_bytes, p, rank=0
         ) + machine.allreduce_cost(64, p)
+        if repartitioned:
+            # One-time migration/placement term per boundary: every rank
+            # broadcasts its coarse meta-edge partials (allgather) and
+            # replays the greedy placement on the merged list.
+            coarse_bytes = int(e * _PHASE_SHRINK * _REBUILD_ENTRY_BYTES)
+            partition += machine.allgather_cost(
+                coarse_bytes, p
+            ) + machine.compute_cost(e * _PHASE_SHRINK * p)
         size *= _PHASE_SHRINK
 
     io = machine.io_cost(entries_per_rank * _INPUT_ENTRY_BYTES)
@@ -191,6 +221,7 @@ def predict_cost(
         "community_comm": community,
         "allreduce": allreduce,
         "rebuild": rebuild,
+        "partition": partition,
         "io": io,
     }
     return CostEstimate(

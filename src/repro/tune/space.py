@@ -69,6 +69,8 @@ class Candidate:
             extras.append("delta")
         if cfg.use_neighbor_collectives:
             extras.append("nbr")
+        if cfg.repartition != "none":
+            extras.append(f"repart={cfg.repartition}")
         tail = (" " + " ".join(extras)) if extras else ""
         return f"{cfg.label()} x{self.ranks}{tail}"
 
@@ -104,6 +106,9 @@ class SearchSpace:
     community_push: tuple[bool, ...] = (False, True)
     ghost_delta: tuple[bool, ...] = (False, True)
     neighbor_collectives: tuple[bool, ...] = (False,)
+    #: Phase-boundary layouts (outcome-identical for the deterministic
+    #: variants; runtime differs via the coarse ghost fraction).
+    repartitions: tuple[str, ...] = ("none", "community")
     #: Base config every candidate derives from (tau, caps, seed, ...).
     base: LouvainConfig = field(default_factory=LouvainConfig)
 
@@ -161,22 +166,34 @@ class SearchSpace:
                             for delta in self.ghost_delta:
                                 for nbr in self.neighbor_collectives:
                                     for ranks in self.rank_counts:
-                                        try:
-                                            config = replace(
-                                                base,
-                                                variant=variant,
-                                                alpha=alpha,
-                                                etc_exit_fraction=exit_fraction,
-                                                threshold_cycle=THRESHOLD_CYCLES[
-                                                    cycle_name
-                                                ],
-                                                community_push_updates=push,
-                                                ghost_delta_updates=delta,
-                                                use_neighbor_collectives=nbr,
+                                        # Repartitioning is a no-op on a
+                                        # single rank: pin it there so the
+                                        # space stays alias-free.
+                                        reparts = (
+                                            self.repartitions
+                                            if ranks > 1
+                                            else (base.repartition,)
+                                        )
+                                        for repart in reparts:
+                                            try:
+                                                config = replace(
+                                                    base,
+                                                    variant=variant,
+                                                    alpha=alpha,
+                                                    etc_exit_fraction=exit_fraction,
+                                                    threshold_cycle=THRESHOLD_CYCLES[
+                                                        cycle_name
+                                                    ],
+                                                    community_push_updates=push,
+                                                    ghost_delta_updates=delta,
+                                                    use_neighbor_collectives=nbr,
+                                                    repartition=repart,
+                                                )
+                                            except ValueError:
+                                                continue  # constraint oracle said no
+                                            yield Candidate(
+                                                config=config, ranks=ranks
                                             )
-                                        except ValueError:
-                                            continue  # constraint oracle said no
-                                        yield Candidate(config=config, ranks=ranks)
 
     def size(self) -> int:
         return len(self.candidates())

@@ -1,0 +1,202 @@
+"""Community-aware repartitioning must be bit-identical to the even split.
+
+``repartition="community"`` is a pure *layout* optimisation: phase-
+boundary reconstruction places whole coarse communities per rank
+instead of re-establishing the paper's even split, but the meta-graph,
+the float accumulation orders, and every collective outcome are
+unchanged — so assignments and modularity match ``repartition="none"``
+exactly for the deterministic variants, across rank counts and the
+transport knobs.  (ET/ETC draw per-rank randomness whose layout
+sensitivity is inherent, exactly as changing the rank count, so they
+are out of scope here.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig, Variant, run_louvain
+from repro.resilience import FaultPlan
+from repro.runtime import FREE, InjectedFault, RankFailedError
+
+from .conftest import planted_blocks_graph
+
+
+@pytest.fixture(autouse=True)
+def _verify_schedule(monkeypatch):
+    """Run this suite under the dynamic collective-schedule verifier so
+    a layout-induced schedule divergence fails at its first mismatched
+    op instead of on end-state mismatch."""
+    monkeypatch.setenv("REPRO_VERIFY_SCHEDULE", "1")
+
+
+def _graph():
+    return planted_blocks_graph(
+        blocks=6, per_block=15, p_in=0.5, inter_edges=40, seed=5
+    )
+
+
+def _assert_identical(ref, res):
+    np.testing.assert_array_equal(ref.assignment, res.assignment)
+    assert res.modularity == ref.modularity
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "variant", [Variant.BASELINE, Variant.THRESHOLD_CYCLING]
+    )
+    def test_variants_and_rank_counts(self, p, variant):
+        g = _graph()
+        cfg = LouvainConfig(variant=variant, seed=2)
+        ref = run_louvain(g, p, cfg, machine=FREE)
+        res = run_louvain(
+            g, p, cfg.with_variant(variant, repartition="community"),
+            machine=FREE,
+        )
+        _assert_identical(ref, res)
+
+    @pytest.mark.parametrize(
+        "toggles",
+        [
+            {"use_coloring": True},
+            {"community_push_updates": True},
+            {"ghost_delta_updates": True},
+            {
+                "use_coloring": True,
+                "community_push_updates": True,
+                "ghost_delta_updates": True,
+            },
+        ],
+        ids=lambda t: "+".join(sorted(t)),
+    )
+    def test_composes_with_transport_knobs(self, toggles):
+        g = _graph()
+        ref = run_louvain(g, 4, LouvainConfig(**toggles), machine=FREE)
+        res = run_louvain(
+            g, 4,
+            LouvainConfig(repartition="community", **toggles),
+            machine=FREE,
+        )
+        _assert_identical(ref, res)
+
+    def test_audited_under_invariant_validation(self):
+        """The per-phase state audits must hold on the general layout."""
+        g = _graph()
+        cfg = LouvainConfig(
+            repartition="community", validate_invariants=True
+        )
+        ref = run_louvain(g, 4, machine=FREE)
+        _assert_identical(ref, run_louvain(g, 4, cfg, machine=FREE))
+
+    def test_random_multigraphs(self):
+        """Integer-weighted multigraphs: every float in the run is a sum
+        of integers (< 2^53), so accumulation *grouping* — the one thing
+        a layout change reorders — cannot affect a single bit.  (With
+        arbitrary float weights the last ulp may drift, exactly as it
+        does when the rank count changes.)"""
+        from repro.graph import EdgeList
+
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            u = rng.integers(0, 30, 70)
+            v = rng.integers(0, 30, 70)
+            w = rng.integers(1, 5, 70).astype(np.float64)
+            g = EdgeList.from_arrays(30, u, v, w).to_csr()
+            for p in (2, 3):
+                ref = run_louvain(g, p, machine=FREE)
+                res = run_louvain(
+                    g, p,
+                    LouvainConfig(repartition="community"),
+                    machine=FREE,
+                )
+                _assert_identical(ref, res)
+
+    def test_tracked_assignments_match(self):
+        g = _graph()
+        ref = run_louvain(
+            g, 4, LouvainConfig(track_assignments=True), machine=FREE
+        )
+        res = run_louvain(
+            g, 4,
+            LouvainConfig(track_assignments=True, repartition="community"),
+            machine=FREE,
+        )
+        _assert_identical(ref, res)
+        assert len(ref.phase_assignments) == len(res.phase_assignments)
+        for a, b in zip(ref.phase_assignments, res.phase_assignments):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestGhostFraction:
+    def test_measured_on_every_distributed_phase(self):
+        g = _graph()
+        res = run_louvain(g, 2, machine=FREE)
+        assert all(p.ghost_fraction >= 0.0 for p in res.phases)
+
+    def test_coarse_phases_not_worse(self):
+        """The whole point: community placement must not *increase* the
+        achieved coarse-phase ghost fraction over the even split."""
+        g = _graph()
+        ref = run_louvain(g, 4, machine=FREE)
+        res = run_louvain(
+            g, 4, LouvainConfig(repartition="community"), machine=FREE
+        )
+        # Phase 0 runs on the identical input split either way.
+        assert res.phases[0].ghost_fraction == ref.phases[0].ghost_fraction
+        ref_coarse = [p.ghost_fraction for p in ref.phases[1:]]
+        res_coarse = [p.ghost_fraction for p in res.phases[1:]]
+        assert ref_coarse and len(ref_coarse) == len(res_coarse)
+        assert sum(res_coarse) <= sum(ref_coarse)
+
+    def test_single_rank_is_all_local(self):
+        res = run_louvain(
+            _graph(), 1, LouvainConfig(repartition="community"), machine=FREE
+        )
+        assert all(p.ghost_fraction == 0.0 for p in res.phases)
+
+
+class TestCheckpointInterop:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_resume_matches_uninterrupted(self, tmp_path, p):
+        """Kill a repartitioned run mid-phase, resume it, and match the
+        uninterrupted run — the checkpoint round-trips the general
+        (community-placed) layout bit for bit."""
+        g = _graph()
+        cfg = LouvainConfig(seed=1, repartition="community")
+        ref = run_louvain(g, p, cfg, machine=FREE)
+        d = str(tmp_path / "ck")
+        with pytest.raises((RankFailedError, InjectedFault)):
+            run_louvain(
+                g, p, cfg,
+                checkpoint_dir=d,
+                fault_plan=FaultPlan(kills={p - 1: 40}),
+                checkpoint_every_iterations=1,
+                machine=FREE,
+            )
+        res = run_louvain(
+            g, p, cfg, checkpoint_dir=d, resume=True, machine=FREE
+        )
+        _assert_identical(ref, res)
+
+    def test_cross_mode_resume_refused(self, tmp_path):
+        """A checkpoint stores the partitioned graph, so resuming under
+        the other layout must be refused (repartition is in the cache
+        key), not silently mis-assembled."""
+        g = _graph()
+        none_cfg = LouvainConfig(seed=1)
+        comm_cfg = LouvainConfig(seed=1, repartition="community")
+        d = str(tmp_path / "ck")
+        with pytest.raises((RankFailedError, InjectedFault)):
+            run_louvain(
+                g, 2, none_cfg,
+                checkpoint_dir=d,
+                fault_plan=FaultPlan(kills={1: 40}),
+                checkpoint_every_iterations=1,
+                machine=FREE,
+            )
+        with pytest.raises(
+            (ValueError, RankFailedError), match="resuming across configs"
+        ):
+            run_louvain(
+                g, 2, comm_cfg, checkpoint_dir=d, resume=True, machine=FREE
+            )

@@ -1,9 +1,15 @@
-"""Unit tests for 1-D partitioners."""
+"""Unit tests for 1-D partitioners and the community placer."""
 
 import numpy as np
 import pytest
 
-from repro.graph import even_edge, even_vertex, local_counts, owner_of
+from repro.graph import (
+    even_edge,
+    even_vertex,
+    local_counts,
+    owner_of,
+    place_communities,
+)
 
 
 class TestEvenVertex:
@@ -64,6 +70,44 @@ class TestEvenEdge:
         assert off[0] == 0 and off[-1] == 10
         assert np.all(np.diff(off) >= 0)
 
+    def test_all_empty_rows_spread_like_even_vertex(self):
+        """A fully edgeless graph must not collapse onto one rank."""
+        rows = np.zeros(10, dtype=np.int64)
+        off = even_edge(rows, 4)
+        np.testing.assert_array_equal(off, even_vertex(10, 4))
+        assert local_counts(off).max() <= 3
+
+    def test_more_ranks_than_vertices(self):
+        rows = np.array([2, 3], dtype=np.int64)
+        off = even_edge(rows, 5)
+        assert off[0] == 0 and off[-1] == 2
+        assert np.all(np.diff(off) >= 0)
+        assert local_counts(off).sum() == 2
+
+    def test_more_ranks_than_vertices_all_empty(self):
+        off = even_edge(np.zeros(3, dtype=np.int64), 7)
+        assert off[0] == 0 and off[-1] == 3
+        assert local_counts(off).max() <= 1
+
+    def test_monotonicity_with_degenerate_heavy_tail(self):
+        """All weight in the last row: every interior cut lands on the
+        same boundary; np.maximum.accumulate must keep offsets sorted."""
+        rows = np.zeros(8, dtype=np.int64)
+        rows[-1] = 1000
+        off = even_edge(rows, 4)
+        assert np.all(np.diff(off) >= 0)
+        assert off[0] == 0 and off[-1] == 8
+        # owner_of must stay usable on the degenerate offsets.
+        owners = owner_of(off, np.arange(8))
+        assert np.all(np.diff(owners) >= 0)
+
+    def test_monotonicity_with_heavy_head(self):
+        rows = np.zeros(8, dtype=np.int64)
+        rows[0] = 1000
+        off = even_edge(rows, 4)
+        assert np.all(np.diff(off) >= 0)
+        assert off[0] == 0 and off[-1] == 8
+
 
 class TestOwnerOf:
     def test_owner_lookup(self):
@@ -85,3 +129,108 @@ class TestOwnerOf:
         off = np.array([0, 3, 6])
         assert owner_of(off, 3) == 1
         assert owner_of(off, 0) == 0
+
+    def test_every_partition_boundary(self):
+        off = np.array([0, 2, 2, 5, 9])
+        # A vertex exactly on a boundary belongs to the first rank whose
+        # range starts there; empty ranks (here rank 1) own nothing.
+        np.testing.assert_array_equal(
+            owner_of(off, np.array([0, 1, 2, 4, 5, 8])),
+            [0, 0, 2, 2, 3, 3],
+        )
+
+    def test_last_vertex_of_last_rank(self):
+        off = np.array([0, 3, 6])
+        assert owner_of(off, 5) == 1
+        with pytest.raises(ValueError):
+            owner_of(off, -1)
+
+
+class TestPlaceCommunities:
+    def _clique_pair_metagraph(self):
+        """Two 3-community cliques joined by one weak edge.
+
+        Directed stored-entry list: communities {0,1,2} heavily
+        interconnected, {3,4,5} heavily interconnected, one light
+        2 <-> 3 bridge.
+        """
+        src, dst, w = [], [], []
+
+        def link(a, b, weight):
+            src.extend([a, b])
+            dst.extend([b, a])
+            w.extend([weight, weight])
+
+        for grp in ((0, 1, 2), (3, 4, 5)):
+            for i in grp:
+                for j in grp:
+                    if i < j:
+                        link(i, j, 10.0)
+        link(2, 3, 1.0)
+        return (
+            np.array(src, dtype=np.int64),
+            np.array(dst, dtype=np.int64),
+            np.array(w, dtype=np.float64),
+        )
+
+    def test_colocates_connected_communities(self):
+        src, dst, w = self._clique_pair_metagraph()
+        rank_of = place_communities(6, src, dst, w, 2)
+        # Each clique must land whole on one rank (and the two cliques
+        # on different ranks, since either alone exceeds half the load).
+        assert len(set(rank_of[:3].tolist())) == 1
+        assert len(set(rank_of[3:].tolist())) == 1
+        assert rank_of[0] != rank_of[3]
+
+    def test_deterministic(self):
+        src, dst, w = self._clique_pair_metagraph()
+        a = place_communities(6, src, dst, w, 4)
+        b = place_communities(6, src, dst, w, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_load_cap_respected(self):
+        # 8 isolated communities of equal size: the cap forces an even
+        # 2-per-rank spread at p = 4 regardless of processing order.
+        src = np.repeat(np.arange(8, dtype=np.int64), 2)
+        dst = src.copy()  # self-loop entries only (no affinity signal)
+        w = np.ones(len(src))
+        rank_of = place_communities(8, src, dst, w, 4)
+        loads = np.bincount(rank_of, minlength=4)
+        assert loads.max() <= 2 * -(-8 * 2 * (1.0 + 0.1) // (4 * 2))
+
+    def test_single_rank_is_trivial(self):
+        src, dst, w = self._clique_pair_metagraph()
+        np.testing.assert_array_equal(
+            place_communities(6, src, dst, w, 1), np.zeros(6)
+        )
+
+    def test_edgeless_metagraph_spreads_evenly(self):
+        empty = np.empty(0, dtype=np.int64)
+        rank_of = place_communities(6, empty, empty, empty.astype(float), 3)
+        loads = np.bincount(rank_of, minlength=3)
+        assert loads.max() == 2
+
+    def test_isolated_communities_still_placed(self):
+        # Community 2 never appears in the edge list; it must still get
+        # a valid owner.
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([1, 0], dtype=np.int64)
+        w = np.ones(2)
+        rank_of = place_communities(3, src, dst, w, 2)
+        assert rank_of.min() >= 0 and rank_of.max() < 2
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            place_communities(
+                2,
+                np.array([0, 2]),
+                np.array([1, 0]),
+                np.ones(2),
+                2,
+            )
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(ValueError):
+            place_communities(
+                2, np.array([0]), np.array([1, 0]), np.ones(2), 2
+            )
