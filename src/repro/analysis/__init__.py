@@ -16,7 +16,7 @@ rationale: ``docs/ANALYSIS.md``.
 """
 
 from .rules import RULES, SEVERITIES, SEVERITY_ORDER, Rule, rule
-from .spmdlint import Finding, LintResult, lint_paths
+from .spmdlint import Finding, LintResult, build_program, lint_paths
 
 __all__ = [
     "RULES",
@@ -26,5 +26,6 @@ __all__ = [
     "rule",
     "Finding",
     "LintResult",
+    "build_program",
     "lint_paths",
 ]

@@ -52,33 +52,46 @@ COLLECTIVE_METHODS = frozenset(
 
 #: Library functions/methods documented as *collective* (they contain
 #: collectives internally, so skipping them on a subset of ranks is the
-#: same bug as skipping a bare collective).  Extend freely.
+#: same bug as skipping a bare collective).  This list is kept in exact
+#: sync with the call graph's contains-collective closure over
+#: ``src/repro`` — regenerate with ``repro-louvain lint src/
+#: --dump-helpers``; rule SPMD005 reports drift in either direction.
 COLLECTIVE_HELPERS = frozenset(
     {
-        "remote_lookup",
-        "exchange_ghost_values",
-        "build_ghost_plan",
-        "rebuild_distributed",
-        "distributed_coloring",
-        "verify_coloring",
-        "distributed_components",
-        "distributed_num_components",
-        "distributed_degree_histogram",
-        "distributed_total_weight",
-        "distributed_label_counts",
-        "merge_global",
-        "audit_community_info",
-        "audit_partition",
-        "audit_ghost_coherence",
-        "distributed_louvain",
-        "louvain_phase_distributed",
-        "incremental_louvain",
-        "split_communicator",
-        "load_latest",
-        "exchange_deltas",
-        "_fetch_community_info",
         "_apply_community_deltas",
+        "_community_placement",
+        "_exact_modularity",
+        "_exchange_changed",
+        "_fetch_community_info",
+        "_load_restored_state",
         "_pull_and_subscribe",
+        "_save_checkpoint",
+        "_sweep_round",
+        "audit_community_info",
+        "audit_ghost_coherence",
+        "audit_partition",
+        "build_ghost_plan",
+        "distributed_coloring",
+        "distributed_components",
+        "distributed_degree_histogram",
+        "distributed_label_counts",
+        "distributed_louvain",
+        "distributed_num_components",
+        "distributed_total_weight",
+        "exchange_deltas",
+        "exchange_ghost_values",
+        "fetch",
+        "load_binary",
+        "load_latest",
+        "louvain_phase_distributed",
+        "merge_global",
+        "publish",
+        "rebuild_distributed",
+        "refresh",
+        "remote_lookup",
+        "save",
+        "split_communicator",
+        "verify_coloring",
     }
 )
 
@@ -224,14 +237,16 @@ def collective_op(node: ast.AST, fn) -> str | None:
 
 def is_rank_variant(node: ast.AST, fn) -> bool:
     """True if the expression's value can differ across ranks *because it
-    is derived from the rank id* (``comm.rank``, ``owner_of``, or a name
-    tainted by them)."""
+    is derived from the rank id* (``comm.rank``, ``owner_of``, a name
+    tainted by them, or a call to a function the call graph proved
+    rank-returning — see ``callgraph.augment_rank_taint``)."""
+    interproc = getattr(fn, "interproc_rank_calls", ())
     for sub in ast.walk(node):
         if isinstance(sub, ast.Attribute) and sub.attr in RANK_ATTRIBUTES:
             return True
         if isinstance(sub, ast.Call):
             name = _callable_name(sub.func)
-            if name in RANK_CALLS:
+            if name in RANK_CALLS or name in interproc:
                 return True
         if isinstance(sub, ast.Name) and sub.id in fn.rank_tainted:
             return True
@@ -418,6 +433,172 @@ def check_tag_matching(program) -> Iterator[tuple[ast.AST, str]]:
                 f"recv with tag {tag} has no send using that tag "
                 "anywhere in the linted code — the receive blocks "
                 "until the deadlock timeout"
+            )
+
+
+@rule(
+    "SPMD004",
+    "error",
+    "whole-program schedule divergence: rank-variant control flow "
+    "changes the collective footprint of an inlined callee",
+    scope="program",
+)
+def check_interprocedural_divergence(program) -> Iterator:
+    """Footprint-summary counterpart of SPMD001 (see summaries.py).
+
+    Scans every SPMD function's collective-footprint summary for
+    rank-variant alternations/loops whose branches execute different
+    collective schedules — including collectives that live in callees
+    SPMD001's per-function view cannot see (local helpers, nested
+    closures, functions outside ``COLLECTIVE_HELPERS``).  Nodes the
+    intraprocedural SPMD001 already reports are skipped so each
+    divergence surfaces exactly once.
+    """
+    builder = getattr(program, "analysis", None)
+    if builder is None:
+        return
+    from .summaries import divergences
+
+    for module in program.modules:
+        for fn in module.functions:
+            if not fn.is_spmd:
+                continue
+            local = {
+                id(node) for node, _ in check_divergent_collective(fn)
+            }
+            seen: set[int] = set()
+            for d in divergences(builder.summary(fn)):
+                if d.owner is not fn:
+                    continue  # reported at the defining function
+                nid = id(d.node)
+                if nid in local or nid in seen:
+                    continue
+                seen.add(nid)
+                yield module, d.node, (
+                    d.describe()
+                    + "; ranks disagreeing on the condition execute "
+                    "different collective schedules (real MPI: deadlock "
+                    "or corrupted collective)"
+                )
+
+
+def _literal_str_collection(node: ast.AST) -> frozenset[str] | None:
+    """Strings of a ``frozenset({...})`` / ``{...}`` / tuple/list literal."""
+    if isinstance(node, ast.Call) and _callable_name(node.func) in (
+        "frozenset",
+        "set",
+    ):
+        if len(node.args) != 1 or node.keywords:
+            return None
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        out = set()
+        for elt in node.elts:
+            if not (
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ):
+                return None
+            out.add(elt.value)
+        return frozenset(out)
+    return None
+
+
+def _literal_str_dict(node: ast.AST) -> dict[str, str] | None:
+    """Keys/values of a ``{"k": "v", ...}`` literal (dict() not handled)."""
+    if isinstance(node, ast.Call) and _callable_name(node.func) == "dict":
+        node = ast.Dict(
+            keys=[ast.Constant(kw.arg) for kw in node.keywords],
+            values=list(kw.value for kw in node.keywords),
+        )
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, str] = {}
+    for k, v in zip(node.keys, node.values):
+        if not (
+            isinstance(k, ast.Constant)
+            and isinstance(k.value, str)
+            and isinstance(v, ast.Constant)
+            and isinstance(v.value, str)
+        ):
+            return None
+        out[k.value] = v.value
+    return out
+
+
+def _module_assignment(
+    tree: ast.Module, name: str
+) -> tuple[ast.stmt, ast.expr] | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id == name:
+                    return stmt, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt, stmt.value
+    return None
+
+
+@rule(
+    "SPMD005",
+    "warning",
+    "COLLECTIVE_HELPERS catalog drifted from the derived "
+    "contains-collective closure (regenerate with lint --dump-helpers)",
+    scope="program",
+)
+def check_helper_catalog_drift(program) -> Iterator:
+    """Diffs the hand-maintained catalog against the call graph.
+
+    The declared set is read from the ``COLLECTIVE_HELPERS =
+    frozenset({...})`` literal of any linted module; the derived set is
+    the transitive contains-collective closure restricted to the
+    declaring module's package subtree (so linting ``tests/`` alongside
+    ``src/`` never reports test workers as "missing").  The comparison
+    is skipped when the package subtree is only partially linted.
+    """
+    cg = getattr(program, "callgraph", None)
+    if cg is None:
+        return
+    from .callgraph import package_root
+
+    linted = {m.path.resolve() for m in program.modules}
+    for module in program.modules:
+        found = _module_assignment(module.tree, "COLLECTIVE_HELPERS")
+        if found is None:
+            continue
+        node, value = found
+        declared = _literal_str_collection(value)
+        if declared is None:
+            continue
+        root = package_root(module.path)
+        if root is not None:
+            expected = {
+                p.resolve()
+                for p in root.rglob("*.py")
+                if "__pycache__" not in p.parts
+            }
+            if not expected <= linted:
+                continue  # partial lint of the package: cannot judge
+            derived = cg.derive_collective_helpers(root)
+        else:
+            derived = cg.derive_collective_helpers(
+                scope_modules=frozenset({id(module)})
+            )
+        stale = sorted(declared - derived)
+        missing = sorted(derived - declared)
+        if stale:
+            yield module, node, (
+                "stale COLLECTIVE_HELPERS entr"
+                + ("y" if len(stale) == 1 else "ies")
+                + " (no linted SPMD definition contains a collective): "
+                + ", ".join(stale)
+            )
+        if missing:
+            yield module, node, (
+                "collective-containing SPMD function"
+                + ("" if len(missing) == 1 else "s")
+                + " missing from COLLECTIVE_HELPERS: "
+                + ", ".join(missing)
             )
 
 
@@ -609,3 +790,232 @@ def check_payload_hazard(fn) -> Iterator[tuple[ast.AST, str]]:
                 "consumes it and the receiver sees an exhausted "
                 "iterator; materialise a list/array first"
             )
+
+
+# ----------------------------------------------------------------------
+# SPMD3xx — config / cache-key drift
+# ----------------------------------------------------------------------
+
+#: Exclusion kinds in ``CACHE_KEY_EXCLUSIONS`` whose fields may
+#: legitimately guard collectives while staying outside ``cache_key()``:
+#: *transport* knobs change how data moves (extra/alternative
+#: collectives) without changing what is computed; *audit* knobs add
+#: verification collectives that every rank executes identically.
+SCHEDULE_SAFE_EXCLUSION_KINDS = frozenset({"transport", "audit"})
+
+
+def _dataclass_def(
+    tree: ast.Module, name: str = "LouvainConfig"
+) -> ast.ClassDef | None:
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.ClassDef) and stmt.name == name):
+            continue
+        for dec in stmt.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if _callable_name(target) == "dataclass":
+                return stmt
+    return None
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if "ClassVar" in ast.unparse(stmt.annotation):
+                continue
+            fields.append(stmt.target.id)
+    return fields
+
+
+def _config_attr_surface(cls: ast.ClassDef) -> frozenset[str]:
+    """Attribute names a config instance legitimately exposes."""
+    names = set(_dataclass_fields(cls))
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+    return frozenset(names)
+
+
+def _louvain_config_params(fn_node: ast.AST) -> frozenset[str]:
+    """Parameters annotated as ``LouvainConfig`` (incl. Optional[...])."""
+    args = fn_node.args
+    out = set()
+    for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if a.annotation is not None and "LouvainConfig" in ast.unparse(
+            a.annotation
+        ):
+            out.add(a.arg)
+    return frozenset(out)
+
+
+@rule(
+    "SPMD301",
+    "error",
+    "LouvainConfig field partition drift: every field must be in "
+    "CACHE_KEY_FIELDS or documented in CACHE_KEY_EXCLUSIONS",
+    scope="program",
+)
+def check_cache_key_partition(program) -> Iterator:
+    """Field-partition invariant on the config declaration itself.
+
+    ``CACHE_KEY_FIELDS`` (what :meth:`LouvainConfig.cache_key` hashes)
+    and ``CACHE_KEY_EXCLUSIONS`` (documented reasons for leaving a
+    field out) must partition the dataclass fields exactly: no
+    undocumented field, no overlap, no stale names on either side, and
+    every exclusion reason tagged ``"<kind>: ..."``.
+    """
+    for module in program.modules:
+        cls = _dataclass_def(module.tree)
+        if cls is None:
+            continue
+        found = _module_assignment(module.tree, "CACHE_KEY_FIELDS")
+        if found is None:
+            continue
+        key_node, key_value = found
+        key_fields = _literal_str_collection(key_value)
+        if key_fields is None:
+            continue
+        excl_node: ast.stmt = key_node
+        exclusions: dict[str, str] = {}
+        excl_found = _module_assignment(module.tree, "CACHE_KEY_EXCLUSIONS")
+        if excl_found is not None:
+            excl_node = excl_found[0]
+            exclusions = _literal_str_dict(excl_found[1]) or {}
+        fields = set(_dataclass_fields(cls))
+        for f in sorted(fields - key_fields - set(exclusions)):
+            yield module, key_node, (
+                f"config field '{f}' is neither in CACHE_KEY_FIELDS nor "
+                "documented in CACHE_KEY_EXCLUSIONS; undocumented fields "
+                "silently escape the autotuner's cache key"
+            )
+        for f in sorted(key_fields & set(exclusions)):
+            yield module, excl_node, (
+                f"config field '{f}' appears in both CACHE_KEY_FIELDS "
+                "and CACHE_KEY_EXCLUSIONS"
+            )
+        for f in sorted(key_fields - fields):
+            yield module, key_node, (
+                f"CACHE_KEY_FIELDS names '{f}', which is not a "
+                "LouvainConfig field"
+            )
+        for f in sorted(set(exclusions) - fields):
+            yield module, excl_node, (
+                f"CACHE_KEY_EXCLUSIONS names '{f}', which is not a "
+                "LouvainConfig field"
+            )
+        for f in sorted(exclusions):
+            reason = exclusions[f]
+            kind = reason.split(":", 1)[0].strip() if ":" in reason else ""
+            if not kind:
+                yield module, excl_node, (
+                    f"CACHE_KEY_EXCLUSIONS['{f}'] reason must start with "
+                    "'<kind>: ' (e.g. 'transport: bit-identical results')"
+                )
+
+
+@rule(
+    "SPMD302",
+    "error",
+    "config field guards the collective schedule but is excluded from "
+    "cache_key() without a schedule-safe exclusion kind",
+    scope="program",
+)
+def check_collective_guard_coverage(program) -> Iterator:
+    """Cross-checks footprint summaries against the cache-key partition.
+
+    A config field whose value selects between different collective
+    schedules (a config-``Alt`` with differing options in some SPMD
+    function's footprint) must either participate in ``cache_key()``
+    or carry an exclusion of a kind in
+    :data:`SCHEDULE_SAFE_EXCLUSION_KINDS`.
+    """
+    builder = getattr(program, "analysis", None)
+    if builder is None:
+        return
+    from .summaries import schedule_guarding_fields
+
+    guarding: dict[str, str] = {}
+    for m in program.modules:
+        for fn in m.functions:
+            if not fn.is_spmd:
+                continue
+            for f in sorted(schedule_guarding_fields(builder.summary(fn))):
+                guarding.setdefault(f, fn.qualname)
+    if not guarding:
+        return
+    for module in program.modules:
+        cls = _dataclass_def(module.tree)
+        if cls is None:
+            continue
+        found = _module_assignment(module.tree, "CACHE_KEY_FIELDS")
+        if found is None:
+            continue
+        key_node, key_value = found
+        key_fields = _literal_str_collection(key_value) or frozenset()
+        exclusions: dict[str, str] = {}
+        excl_found = _module_assignment(module.tree, "CACHE_KEY_EXCLUSIONS")
+        if excl_found is not None:
+            exclusions = _literal_str_dict(excl_found[1]) or {}
+        fields = set(_dataclass_fields(cls))
+        for f in sorted(guarding):
+            if f not in fields or f in key_fields:
+                continue
+            reason = exclusions.get(f)
+            if reason is None:
+                continue  # SPMD301 already reports undocumented fields
+            kind = reason.split(":", 1)[0].strip()
+            if kind not in SCHEDULE_SAFE_EXCLUSION_KINDS:
+                yield module, key_node, (
+                    f"config field '{f}' guards the collective schedule "
+                    f"(see {guarding[f]}) but is excluded from "
+                    f"cache_key() with kind '{kind}'; only "
+                    f"{sorted(SCHEDULE_SAFE_EXCLUSION_KINDS)} exclusions "
+                    "may guard collectives"
+                )
+
+
+@rule(
+    "SPMD303",
+    "error",
+    "unknown LouvainConfig attribute read: typoed fields drift "
+    "silently out of the schedule analysis",
+    scope="program",
+)
+def check_config_attr_reads(program) -> Iterator:
+    """Validates ``config.<attr>`` reads against the declared surface.
+
+    Only parameters *annotated* ``LouvainConfig`` are checked, so
+    unrelated ``config`` objects (service/serving configs) are never
+    flagged.  Private/dunder attributes are skipped.
+    """
+    surface: frozenset[str] | None = None
+    for module in program.modules:
+        cls = _dataclass_def(module.tree)
+        if cls is not None:
+            s = _config_attr_surface(cls)
+            surface = s if surface is None else (surface | s)
+    if surface is None:
+        return
+    for module in program.modules:
+        for fn in module.functions:
+            cfg_params = _louvain_config_params(fn.node)
+            if not cfg_params:
+                continue
+            for node in walk_no_nested(fn.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in cfg_params
+                    and not node.attr.startswith("_")
+                    and node.attr not in surface
+                ):
+                    yield module, node, (
+                        f"'{node.value.id}.{node.attr}' is not a "
+                        "LouvainConfig field, property, or method"
+                    )

@@ -24,6 +24,7 @@ invariants the analysis cannot see, not for bugs.
 from __future__ import annotations
 
 import ast
+import fnmatch
 import json
 import re
 from dataclasses import dataclass, field
@@ -76,16 +77,38 @@ class Finding:
 
 
 class FunctionContext:
-    """Analysis context for one function definition."""
+    """Analysis context for one function definition.
 
-    def __init__(self, module: "ModuleContext", node: ast.FunctionDef):
+    ``comm_names`` are the function's *own* communicator parameters
+    (the SPMD-function test the rules key on); ``all_comm_names``
+    additionally includes communicators closed over from enclosing
+    functions, which is what collective detection inside nested
+    helpers needs.  ``interproc_rank_calls`` is filled by the call
+    graph's taint fixpoint: names of callees whose return value is
+    rank-variant, treated like ``owner_of`` by the local taint pass.
+    """
+
+    def __init__(
+        self,
+        module: "ModuleContext",
+        node: ast.FunctionDef,
+        qualname: str | None = None,
+        class_name: str | None = None,
+        is_nested: bool = False,
+        enclosing_comm_names: frozenset[str] = frozenset(),
+    ):
         self.module = module
         self.node = node
         self.name = node.name
+        self.qualname = qualname or node.name
+        self.class_name = class_name
+        self.is_nested = is_nested
         self.comm_names = self._find_comm_params(node)
+        self.all_comm_names = self.comm_names | enclosing_comm_names
         self.is_spmd = bool(self.comm_names)
         self.rank_tainted: set[str] = set()
         self.replicated: set[str] = set()
+        self.interproc_rank_calls: set[str] = set()
         if self.is_spmd:
             self._build_taint()
 
@@ -133,6 +156,14 @@ class FunctionContext:
         names = [s for s in ast.walk(value) if isinstance(s, ast.Name)]
         return bool(names) and all(n.id in self.replicated for n in names)
 
+    def rebuild_taint(self) -> None:
+        """Re-run the local taint pass after interprocedural updates.
+
+        ``rank_tainted``/``replicated`` grow monotonically, so repeated
+        calls converge; the call graph drives this to a fixpoint.
+        """
+        self._build_taint()
+
 
 class ModuleContext:
     """Parsed module plus suppression map and function contexts."""
@@ -142,14 +173,56 @@ class ModuleContext:
         self.display_path = display_path
         self.source = source
         self.tree = ast.parse(source, filename=str(path))
-        self.functions = [
-            FunctionContext(self, node)
-            for node in ast.walk(self.tree)
-            if isinstance(node, ast.FunctionDef)
-        ]
+        self.functions: list[FunctionContext] = []
+        self._collect_functions(self.tree, scope=(), comm=frozenset(),
+                                in_function=False)
         self.suppressions: dict[int, frozenset[str] | None] = {}
         self.skip_file = False
         self._scan_suppressions()
+
+    def _collect_functions(
+        self,
+        node: ast.AST,
+        scope: tuple[str, ...],
+        comm: frozenset[str],
+        in_function: bool,
+        class_name: str | None = None,
+    ) -> None:
+        """Scoped walk: records qualified names, nesting, and the
+        communicator names visible through closures."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.FunctionDef):
+                fn = FunctionContext(
+                    self,
+                    child,
+                    qualname=".".join((*scope, child.name)),
+                    class_name=class_name,
+                    is_nested=in_function,
+                    enclosing_comm_names=comm if in_function else frozenset(),
+                )
+                self.functions.append(fn)
+                self._collect_functions(
+                    child,
+                    scope=(*scope, child.name),
+                    comm=fn.all_comm_names,
+                    in_function=True,
+                    class_name=None,
+                )
+            elif isinstance(child, ast.ClassDef):
+                self._collect_functions(
+                    child,
+                    scope=(*scope, child.name),
+                    comm=comm,
+                    in_function=in_function,
+                    class_name=child.name,
+                )
+            elif isinstance(child, ast.AsyncFunctionDef):
+                continue  # async code is not SPMD-scheduled
+            else:
+                self._collect_functions(
+                    child, scope=scope, comm=comm,
+                    in_function=in_function, class_name=class_name,
+                )
 
     def _scan_suppressions(self) -> None:
         for lineno, line in enumerate(self.source.splitlines(), start=1):
@@ -174,21 +247,45 @@ class ModuleContext:
 
 
 class ProgramContext:
-    """All modules of one lint run (for cross-module rules)."""
+    """All modules of one lint run (for cross-module rules).
+
+    The engine attaches the interprocedural artifacts before any rule
+    runs: ``callgraph`` (:class:`repro.analysis.callgraph.CallGraph`)
+    and ``analysis`` (:class:`repro.analysis.summaries.SummaryBuilder`),
+    so program-scope rules can consume summaries without rebuilding.
+    """
 
     def __init__(self, modules: Sequence[ModuleContext]):
         self.modules = list(modules)
+        self.callgraph = None
+        self.analysis = None
 
 
-def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+def _excluded(path: Path, exclude: Sequence[str]) -> bool:
+    text = path.as_posix()
+    return any(
+        fnmatch.fnmatch(text, pat)
+        or fnmatch.fnmatch(text, "*/" + pat)  # pattern given repo-relative
+        or fnmatch.fnmatch(path.name, pat)
+        for pat in exclude
+    )
+
+
+def _iter_python_files(
+    paths: Iterable[str | Path], exclude: Sequence[str] = ()
+) -> Iterator[Path]:
     for raw in paths:
         p = Path(raw)
         if p.is_dir():
             for f in sorted(p.rglob("*.py")):
-                if "__pycache__" not in f.parts:
-                    yield f
+                if "__pycache__" in f.parts:
+                    continue
+                if exclude and _excluded(f, exclude):
+                    continue
+                yield f
         elif p.suffix == ".py":
-            yield p
+            if not (exclude and _excluded(p, exclude)):
+                yield p
 
 
 def _selected_rules(
@@ -247,6 +344,41 @@ class LintResult:
         )
         return "\n".join(lines)
 
+    #: GitHub Actions workflow-command levels per finding severity.
+    _GITHUB_LEVELS = {"info": "notice", "warning": "warning", "error": "error"}
+
+    def format_github(self) -> str:
+        """GitHub Actions annotation commands (one per finding).
+
+        Emitted on stdout inside an Actions job, these render inline on
+        the PR diff.  Properties with commas/newlines are escaped per
+        the workflow-command spec.
+        """
+
+        def esc(text: str, prop: bool = False) -> str:
+            text = text.replace("%", "%25").replace("\r", "%0D")
+            text = text.replace("\n", "%0A")
+            if prop:
+                text = text.replace(":", "%3A").replace(",", "%2C")
+            return text
+
+        lines = []
+        for f in self.findings:
+            level = self._GITHUB_LEVELS.get(f.severity, "warning")
+            lines.append(
+                f"::{level} file={esc(f.path, prop=True)},"
+                f"line={f.line},col={f.col + 1},"
+                f"title={esc(f.rule, prop=True)}::{esc(f.message)}"
+            )
+        for err in self.parse_errors:
+            lines.append(f"::error::{esc('parse error: ' + err)}")
+        noun = "file" if self.files_checked == 1 else "files"
+        lines.append(
+            f"{len(self.findings)} finding(s) in "
+            f"{self.files_checked} {noun}"
+        )
+        return "\n".join(lines)
+
 
 def _emit(
     result: LintResult,
@@ -271,26 +403,53 @@ def _emit(
     )
 
 
-def lint_paths(
+def build_program(
     paths: Sequence[str | Path],
-    select: Sequence[str] | None = None,
-    ignore: Sequence[str] | None = None,
-) -> LintResult:
-    """Run the registered rules over ``paths`` (files or directories)."""
-    rules = _selected_rules(select, ignore)
-    result = LintResult()
+    exclude: Sequence[str] = (),
+    parse_errors: list[str] | None = None,
+) -> ProgramContext:
+    """Parse ``paths`` and run the interprocedural analyses.
+
+    Returns a :class:`ProgramContext` whose ``callgraph`` (with the
+    rank-taint fixpoint already applied) and ``analysis`` (summary
+    builder) are populated — the shared substrate for ``lint_paths``,
+    ``--dump-helpers`` and ``--schedule-report``.
+    """
+    from .callgraph import CallGraph
+    from .summaries import SummaryBuilder
+
     modules: list[ModuleContext] = []
-    for path in _iter_python_files(paths):
+    for path in _iter_python_files(paths, exclude):
         try:
             source = path.read_text(encoding="utf-8")
             module = ModuleContext(path, source, display_path=str(path))
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            result.parse_errors.append(f"{path}: {exc}")
+            if parse_errors is not None:
+                parse_errors.append(f"{path}: {exc}")
             continue
         modules.append(module)
-        result.files_checked += 1
 
     program = ProgramContext(modules)
+    program.callgraph = CallGraph(modules)
+    # Interprocedural rank taint first: the per-function rules and the
+    # summaries both read the augmented ``rank_tainted`` sets.
+    program.callgraph.augment_rank_taint()
+    program.analysis = SummaryBuilder(program.callgraph)
+    return program
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    exclude: Sequence[str] = (),
+) -> LintResult:
+    """Run the registered rules over ``paths`` (files or directories)."""
+    rules = _selected_rules(select, ignore)
+    result = LintResult()
+    program = build_program(paths, exclude, parse_errors=result.parse_errors)
+    modules = program.modules
+    result.files_checked = len(modules)
     for rule in rules:
         if rule.scope == "program":
             for module, node, message in rule.check(program):

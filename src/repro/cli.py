@@ -247,8 +247,14 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="+", help="files or directories to analyse"
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default text; github emits workflow "
+             "annotation commands)",
+    )
+    lint.add_argument(
+        "--exclude", metavar="GLOBS",
+        help="comma-separated path globs to skip (matched against the "
+             "posix path and the basename, e.g. 'tests/data/*')",
     )
     lint.add_argument(
         "--fail-on",
@@ -268,6 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--dump-helpers", action="store_true",
+        help="print the derived COLLECTIVE_HELPERS catalog (transitive "
+             "contains-collective closure over the linted files) and exit",
+    )
+    lint.add_argument(
+        "--schedule-report", metavar="FILE",
+        help="write the config-variant schedule matrix for "
+             "distributed_louvain (JSON) to FILE",
     )
     return parser
 
@@ -820,16 +836,61 @@ def _cmd_lint(args) -> int:
     def split(spec: str) -> list[str]:
         return [x.strip() for x in spec.split(",") if x.strip()]
 
+    exclude = split(args.exclude) if args.exclude else []
+
+    if args.dump_helpers:
+        from .analysis.spmdlint import build_program
+
+        try:
+            program = build_program(args.paths, exclude=exclude)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for name in sorted(program.callgraph.derive_collective_helpers()):
+            print(name)
+        return 0
+
     try:
         result = lint_paths(
             args.paths,
             select=split(args.select) if args.select else None,
             ignore=split(args.ignore) if args.ignore else None,
+            exclude=exclude,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.to_json() if args.format == "json" else result.format_text())
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "github":
+        print(result.format_github())
+    else:
+        print(result.format_text())
+
+    if args.schedule_report:
+        import json as _json
+        from pathlib import Path
+
+        from .analysis.spmdlint import build_program
+        from .analysis.summaries import schedule_matrix
+
+        program = build_program(args.paths, exclude=exclude)
+        try:
+            report = schedule_matrix(program.analysis)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        Path(args.schedule_report).write_text(
+            _json.dumps(report, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        rep = report["summary"]
+        print(
+            f"schedule matrix: {rep['variants']} variant(s), "
+            f"{rep['distinct_schedules']} distinct schedule(s), "
+            f"divergence_free={rep['divergence_free']} "
+            f"-> {args.schedule_report}"
+        )
+
     if result.parse_errors:
         return 2
     if args.fail_on == "never":

@@ -77,6 +77,33 @@ CACHE_KEY_FIELDS = frozenset(
     }
 )
 
+#: Machine-readable justification for every field left out of
+#: :data:`CACHE_KEY_FIELDS`.  Each value is ``"<kind>: <reason>"`` where
+#: the kind is one of the exclusion categories the lint config-drift
+#: rules (SPMD301/SPMD302) understand: ``transport`` — the knob changes
+#: how data moves between ranks, never what is computed; ``audit`` —
+#: the knob adds verification work executed identically by every rank.
+#: Both kinds are *schedule-safe*: they may legitimately change which
+#: collectives run without invalidating a cached detection result.
+CACHE_KEY_EXCLUSIONS = {
+    "use_neighbor_collectives": (
+        "transport: neighborhood vs point-to-point halo exchange moves "
+        "the same bytes; assignments and modularity are bit-identical"
+    ),
+    "ghost_delta_updates": (
+        "transport: delta vs full ghost refresh converges to the same "
+        "ghost state each round"
+    ),
+    "community_push_updates": (
+        "transport: push vs pull community info exchange is a wire-"
+        "protocol choice with bit-identical results"
+    ),
+    "validate_invariants": (
+        "audit: adds replicated verification collectives; detection "
+        "output is unchanged"
+    ),
+}
+
 
 @dataclass(frozen=True)
 class LouvainConfig:

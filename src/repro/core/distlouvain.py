@@ -147,7 +147,9 @@ class _GhostChannel:
         full values (baseline mode), so move trajectories are untouched.
         """
         if self._ghost is None:
-            return self.refresh(comm, local_comm)
+            # Replicated: every rank performs the first (full) refresh
+            # together, so the delta buffer exists on all ranks or none.
+            return self.refresh(comm, local_comm)  # spmdlint: ignore[SPMD002]
         return self._exchange_changed(comm, local_comm)
 
     def _exchange_changed(
@@ -422,7 +424,10 @@ def louvain_phase_distributed(
             if color_classes is None
             else [active & cls for cls in color_classes]
         )
-        for round_active in rounds:
+        # Trip count is len(rounds) — 1, or the allreduced colour count
+        # — replicated even though each round's active *mask* is
+        # rank-local (the mask only gates local move proposals).
+        for round_active in rounds:  # spmdlint: ignore[SPMD001, SPMD004]
             local_comm, round_moved, ghost_comm, n = _sweep_round(
                 comm, dg, ghosts, ctargets, rows, self_mask, k,
                 local_comm, tot_owned, size_owned, round_active, config,

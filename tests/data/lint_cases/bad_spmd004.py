@@ -1,0 +1,21 @@
+"""SPMD004: divergence only visible through the call graph.
+
+``_exchange`` is a module-local helper the hand-maintained
+``COLLECTIVE_HELPERS`` catalog knows nothing about, so the
+intraprocedural SPMD001 cannot see a collective under the rank guard.
+The footprint summary inlines it and catches the config-guarded
+rank-variant schedule.
+"""
+
+
+def _exchange(comm, values):
+    return comm.allreduce(values)
+
+
+def sweep(comm, config, values):
+    if config.use_coloring:
+        # Rank-dependent: odd ranks never enter the allreduce hidden
+        # inside _exchange.
+        if comm.rank % 2 == 0:
+            values = _exchange(comm, values)
+    return values

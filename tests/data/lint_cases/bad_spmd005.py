@@ -1,0 +1,15 @@
+"""SPMD005: hand-maintained helper catalog drifted both ways.
+
+``retired_helper`` no longer exists, and ``fresh_helper`` (which
+transitively reaches an allreduce) is not listed.
+"""
+
+COLLECTIVE_HELPERS = frozenset(
+    {
+        "retired_helper",
+    }
+)
+
+
+def fresh_helper(comm, x):
+    return comm.allreduce(x)

@@ -1,0 +1,23 @@
+"""SPMD301: cache-key partition drift on the config declaration.
+
+Four distinct violations: an undocumented field, a field in both sets,
+a stale name in the key set, and an exclusion reason without a
+``<kind>:`` tag.
+"""
+
+from dataclasses import dataclass
+
+CACHE_KEY_FIELDS = frozenset({"tau", "resolution", "ghost_mode"})
+
+CACHE_KEY_EXCLUSIONS = {
+    "verbose": "forgot the kind separator entirely",
+    "tau": "audit: but tau is already in the key set",
+}
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    tau: float = 1e-6
+    resolution: float = 1.0
+    use_push: bool = False
+    verbose: bool = False

@@ -1,0 +1,22 @@
+"""SPMD303: a typoed config attribute drifts out of the analysis.
+
+``use_colouring`` (British spelling) is not a field of the declared
+config, so the guard silently reads a nonexistent attribute — at
+runtime an AttributeError, and statically a hole in the schedule
+matrix.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    tau: float = 1e-6
+    use_coloring: bool = False
+
+
+def detect(comm, config: LouvainConfig, values):
+    total = comm.allreduce(values)
+    if config.use_colouring:
+        total = -total
+    return total

@@ -1,0 +1,16 @@
+"""SPMD004 near-miss: the same helper shape, but replicated guards.
+
+A config flag is identical on every rank, so alternating the inlined
+collective on it changes the schedule *per config*, never *per rank* —
+the schedule matrix records two variants and neither diverges.
+"""
+
+
+def _exchange(comm, values):
+    return comm.allreduce(values)
+
+
+def sweep(comm, config, values):
+    if config.use_coloring:
+        values = _exchange(comm, values)
+    return values

@@ -1,0 +1,17 @@
+"""SPMD005 near-miss: the catalog matches the derived closure exactly."""
+
+COLLECTIVE_HELPERS = frozenset(
+    {
+        "fresh_helper",
+        "outer_helper",
+    }
+)
+
+
+def fresh_helper(comm, x):
+    return comm.allreduce(x)
+
+
+def outer_helper(comm, x):
+    # In the catalog via the transitive closure, not a direct call.
+    return fresh_helper(comm, x) + 1.0

@@ -1,0 +1,18 @@
+"""SPMD301 near-miss: key fields and exclusions partition exactly."""
+
+from dataclasses import dataclass
+
+CACHE_KEY_FIELDS = frozenset({"tau", "resolution"})
+
+CACHE_KEY_EXCLUSIONS = {
+    "use_push": "transport: assignments are bit-identical either way",
+    "verbose": "audit: extra logging, no effect on results",
+}
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    tau: float = 1e-6
+    resolution: float = 1.0
+    use_push: bool = False
+    verbose: bool = False

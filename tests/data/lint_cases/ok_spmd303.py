@@ -1,0 +1,24 @@
+"""SPMD303 near-miss: fields, properties, and methods all count as
+declared surface."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LouvainConfig:
+    tau: float = 1e-6
+
+    @property
+    def strict(self) -> bool:
+        return self.tau < 1e-9
+
+    def cache_key(self) -> str:
+        return str(self.tau)
+
+
+def detect(comm, config: LouvainConfig, values):
+    if config.strict:
+        values = values * config.tau
+    key = config.cache_key()
+    total = comm.allreduce(values)
+    return total, key

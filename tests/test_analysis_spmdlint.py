@@ -24,11 +24,16 @@ RULE_IDS = (
     "SPMD001",
     "SPMD002",
     "SPMD003",
+    "SPMD004",
+    "SPMD005",
     "SPMD101",
     "SPMD102",
     "SPMD103",
     "SPMD104",
     "SPMD201",
+    "SPMD301",
+    "SPMD302",
+    "SPMD303",
 )
 
 
@@ -79,6 +84,31 @@ class TestShippedTree:
         assert result.files_checked > 40
         assert result.findings == []
 
+    def test_widened_tree_lints_clean(self):
+        # The CI gate: benchmarks, examples, and the test suite itself
+        # (fault-injection fixtures carry explicit suppressions).
+        result = lint_paths(
+            [
+                REPO_ROOT / "src",
+                REPO_ROOT / "benchmarks",
+                REPO_ROOT / "examples",
+                REPO_ROOT / "tests",
+            ],
+            exclude=["tests/data/*"],
+        )
+        assert result.parse_errors == []
+        assert result.findings == []
+
+    def test_declared_catalog_matches_derived_closure(self):
+        # COLLECTIVE_HELPERS is machine-derived: zero stale entries,
+        # zero missing ones.  Regenerate with `lint --dump-helpers`.
+        from repro.analysis.rules import COLLECTIVE_HELPERS
+        from repro.analysis.spmdlint import build_program
+
+        program = build_program([REPO_ROOT / "src" / "repro"])
+        derived = program.callgraph.derive_collective_helpers()
+        assert sorted(derived) == sorted(COLLECTIVE_HELPERS)
+
 
 class TestEngine:
     def test_select_and_ignore(self):
@@ -115,6 +145,22 @@ class TestEngine:
         result = lint_paths(sorted(CASES_DIR.glob("bad_*.py")))
         keys = [(f.path, f.line, f.col) for f in result.findings]
         assert keys == sorted(keys)
+
+    def test_exclude_globs(self):
+        full = lint_paths([CASES_DIR])
+        filtered = lint_paths(
+            [CASES_DIR], exclude=["bad_*.py", "suppressed.py"]
+        )
+        assert filtered.files_checked < full.files_checked
+        assert filtered.findings == []
+
+    def test_github_format(self):
+        result = lint_paths([CASES_DIR / "bad_spmd001.py"])
+        out = result.format_github()
+        assert "::error file=" in out
+        assert "title=SPMD001" in out
+        # The trailing summary line matches the text format's.
+        assert out.splitlines()[-1] == result.format_text().splitlines()[-1]
 
 
 class TestRegistry:
@@ -189,6 +235,34 @@ class TestCli:
         for rule_id in RULE_IDS:
             assert rule_id in out
 
+    def test_github_format_flag(self, capsys):
+        bad = str(CASES_DIR / "bad_spmd001.py")
+        assert cli_main(["lint", bad, "--format", "github",
+                         "--fail-on", "never"]) == 0
+        assert "::error file=" in capsys.readouterr().out
+
+    def test_dump_helpers(self, capsys):
+        ok = str(CASES_DIR / "ok_spmd005.py")
+        assert cli_main(["lint", ok, "--dump-helpers"]) == 0
+        assert capsys.readouterr().out.split() == [
+            "fresh_helper",
+            "outer_helper",
+        ]
+
+    def test_schedule_report(self, tmp_path, capsys):
+        target = str(REPO_ROOT / "src" / "repro")
+        out_file = tmp_path / "schedule-report.json"
+        assert cli_main(["lint", target, "--schedule-report",
+                         str(out_file), "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        doc = json.loads(out_file.read_text())
+        assert doc["entry"] == "distributed_louvain"
+        assert doc["summary"]["divergence_free"] is True
+        assert doc["summary"]["variants"] >= 5
+        for row in doc["rows"]:
+            assert row["divergences"] == []
+            assert row["collectives"]
+
 
 class TestToolingConfig:
     """The satellite lint gate is config-only locally (ruff/mypy run in
@@ -200,9 +274,17 @@ class TestToolingConfig:
         assert "[tool.mypy]" in text
         assert 'extend-exclude = ["tests/data"]' in text
         assert "repro.analysis.*" in text
+        # The whole-program analysis modules are held to strict checks.
+        assert "repro.analysis.callgraph" in text
+        assert "repro.analysis.summaries" in text
+        assert "disallow_untyped_defs = true" in text
 
     def test_ci_runs_lint_job(self):
         text = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
-        assert "repro-louvain lint src/ --fail-on error" in text
+        assert "repro-louvain lint src/ benchmarks/ examples/ tests/" in text
+        assert "--exclude 'tests/data/*'" in text
+        assert "--schedule-report schedule-report.json" in text
+        assert "--fail-on error" in text
+        assert "name: schedule-report" in text
         assert "ruff check ." in text
         assert "mypy -p repro.analysis" in text

@@ -75,8 +75,8 @@ class TestGhostPlan:
         def prog(comm):
             dg = DistGraph.distribute(comm, g)
             plan = dg.build_ghost_plan(comm)
-            send = {r: ids.tolist() for r, ids in plan.send_ids.items()}
-            recv = {r: ids.tolist() for r, ids in plan.recv_ids.items()}
+            send = {r: ids.tolist() for r, ids in sorted(plan.send_ids.items())}
+            recv = {r: ids.tolist() for r, ids in sorted(plan.recv_ids.items())}
             return send, recv
 
         r = spmd(3, prog)

@@ -242,7 +242,8 @@ class TestCollectives:
 
     def test_collective_mismatch_detected(self):
         def prog(comm):
-            if comm.rank == 0:
+            # Divergence under test: the runtime must catch it.
+            if comm.rank == 0:  # spmdlint: ignore[SPMD001]
                 comm.barrier()
             else:
                 comm.allreduce(1)

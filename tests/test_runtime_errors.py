@@ -5,6 +5,9 @@ analysis layer (docs/ANALYSIS.md) relies on: collective-mismatch
 localization, schedule-hash divergence, deadlock audits on timeout, and
 RankAborted suppression in RankFailedError.causes.
 """
+# spmdlint: skip-file — every worker below deliberately diverges
+# (mismatched collectives, rank-local raises, recv cycles) to exercise
+# the runtime verifier; the static rules would flag all of them.
 
 from __future__ import annotations
 

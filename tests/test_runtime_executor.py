@@ -51,7 +51,8 @@ class TestRunSPMD:
 class TestFailurePropagation:
     def test_single_failing_rank_reported(self):
         def prog(comm):
-            if comm.rank == 2:
+            # Fault injection: rank 2 dies, the rest must unblock.
+            if comm.rank == 2:  # spmdlint: ignore[SPMD004]
                 raise ValueError("boom")
             comm.barrier()
 
@@ -82,7 +83,8 @@ class TestFailurePropagation:
 
     def test_failure_inside_collective_unblocks_everyone(self):
         def prog(comm):
-            if comm.rank == 1:
+            # Fault injection: a mid-collective death under test.
+            if comm.rank == 1:  # spmdlint: ignore[SPMD004]
                 raise ValueError("late")
             for _ in range(3):
                 comm.allreduce(1)
@@ -94,7 +96,8 @@ class TestFailurePropagation:
         # A program can observe the abort but must not swallow it into a
         # normal return (the executor still reports the primary cause).
         def prog(comm):
-            if comm.rank == 0:
+            # Fault injection: primary failure vs caught RankAborted.
+            if comm.rank == 0:  # spmdlint: ignore[SPMD004]
                 raise ValueError("primary")
             try:
                 comm.barrier()

@@ -42,7 +42,7 @@ class TestMessageStorm:
             for s in range(comm.size):
                 if s != comm.rank:
                     got[s] = comm.recv(s)
-            return all(v == (s, comm.rank) for s, v in got.items())
+            return all(v == (s, comm.rank) for s, v in sorted(got.items()))
 
         assert all(spmd(6, prog).values)
 
@@ -106,11 +106,13 @@ class TestSkewedSchedules:
 
     def test_sender_far_ahead_of_receiver(self):
         def prog(comm):
-            if comm.rank == 0:
+            # Asymmetric by design: both ranks still meet one barrier
+            # and the p2p traffic is fully matched.
+            if comm.rank == 0:  # spmdlint: ignore[SPMD001]
                 for i in range(50):
                     comm.send(i, 1)
                 comm.barrier()
-                return None
+                return None  # spmdlint: ignore[SPMD002]
             got = []
             comm.barrier()  # receive only after everything is queued
             for _ in range(50):
@@ -125,7 +127,8 @@ class TestFailureTiming:
     def test_failure_at_any_iteration(self, fail_at):
         def prog(comm):
             for i in range(20):
-                if comm.rank == 1 and i == fail_at:
+                # Fault injection: rank 1 dies at a chosen iteration.
+                if comm.rank == 1 and i == fail_at:  # spmdlint: ignore[SPMD004]
                     raise RuntimeError(f"die-{i}")
                 comm.allreduce(i)
             return True
