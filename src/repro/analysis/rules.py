@@ -60,13 +60,17 @@ COLLECTIVE_HELPERS = frozenset(
     {
         "_apply_community_deltas",
         "_community_placement",
+        "_component_labels",
         "_exact_modularity",
         "_exchange_changed",
         "_fetch_community_info",
+        "_labels_collide",
         "_load_restored_state",
         "_pull_and_subscribe",
         "_save_checkpoint",
+        "_split_flags",
         "_sweep_round",
+        "_vertex_following_targets",
         "audit_community_info",
         "audit_ghost_coherence",
         "audit_partition",
@@ -87,6 +91,7 @@ COLLECTIVE_HELPERS = frozenset(
         "merge_global",
         "publish",
         "rebuild_distributed",
+        "refine_communities",
         "refresh",
         "remote_lookup",
         "save",

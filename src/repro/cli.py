@@ -64,19 +64,39 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a binary graph file")
     info.add_argument("input")
 
-    det = sub.add_parser(
-        "detect", help="run distributed Louvain on a binary graph file"
-    )
-    det.add_argument("input")
-    det.add_argument("--ranks", type=int, default=4)
-    det.add_argument(
+    # Config flags shared by every job-running subcommand — one
+    # registration instead of the historical per-command duplicates.
+    config_flags = argparse.ArgumentParser(add_help=False)
+    config_flags.add_argument(
         "--variant",
         default="baseline",
         choices=("baseline", "threshold-cycling", "et", "etc", "et+tc"),
     )
-    det.add_argument("--alpha", type=float, default=0.25)
-    det.add_argument("--tau", type=float, default=1e-6)
-    det.add_argument("--resolution", type=float, default=1.0)
+    config_flags.add_argument("--alpha", type=float, default=0.25)
+    config_flags.add_argument("--tau", type=float, default=1e-6)
+    config_flags.add_argument("--resolution", type=float, default=1.0,
+                              help="resolution parameter gamma (zoom "
+                                   "level; >1 favours smaller communities)")
+    config_flags.add_argument("--refine", default="none",
+                              choices=("none", "leiden"),
+                              help="post-phase refinement: 'leiden' splits "
+                                   "internally disconnected communities")
+    config_flags.add_argument("--vertex-following", action="store_true",
+                              help="Grappolo heuristic: merge single-degree "
+                                   "vertices before phase 1")
+    config_flags.add_argument("--seed", type=int, default=0)
+
+    det = sub.add_parser(
+        "detect",
+        help="run distributed Louvain on a binary graph file",
+        parents=[config_flags],
+    )
+    det.add_argument("input")
+    det.add_argument("--ranks", type=int, default=4)
+    det.add_argument("--resolutions", metavar="G1,G2,...",
+                     help="zoom-level sweep: run once per resolution and "
+                          "emit one assignment per level (overrides "
+                          "--resolution)")
     det.add_argument("--coloring", action="store_true",
                      help="distance-1 coloring (§VI future work)")
     det.add_argument("--community-push", action="store_true",
@@ -87,7 +107,6 @@ def build_parser() -> argparse.ArgumentParser:
                      help="phase-boundary layout: 'community' places "
                           "whole coarse communities per rank, shrinking "
                           "the ghost fraction (bit-identical results)")
-    det.add_argument("--seed", type=int, default=0)
     det.add_argument("--out", help="write 'vertex community' text file")
     det.add_argument("--save", help="write .npz result file")
     det.add_argument("--trace", action="store_true",
@@ -106,23 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from the latest valid checkpoint in "
                           "--checkpoint-dir instead of starting fresh")
 
-    def add_config_flags(p) -> None:
-        p.add_argument(
-            "--variant",
-            default="baseline",
-            choices=("baseline", "threshold-cycling", "et", "etc", "et+tc"),
-        )
-        p.add_argument("--alpha", type=float, default=0.25)
-        p.add_argument("--tau", type=float, default=1e-6)
-        p.add_argument("--resolution", type=float, default=1.0)
-        p.add_argument("--seed", type=int, default=0)
-
     smt = sub.add_parser(
-        "submit", help="run one job through the detection service"
+        "submit",
+        help="run one job through the detection service",
+        parents=[config_flags],
     )
     smt.add_argument("input", help="binary graph file")
     smt.add_argument("--ranks", type=int, default=4)
-    add_config_flags(smt)
     smt.add_argument("--priority", type=int, default=0)
     smt.add_argument("--timeout", type=float,
                      help="job deadline in wall-clock seconds")
@@ -335,11 +344,22 @@ def _cmd_detect(args) -> int:
         alpha=args.alpha,
         tau=args.tau,
         resolution=args.resolution,
+        refine=args.refine,
+        vertex_following=args.vertex_following,
         use_coloring=args.coloring,
         community_push_updates=args.community_push,
         repartition=args.repartition,
         seed=args.seed,
     )
+    if args.resolutions:
+        if args.resume or args.checkpoint_dir:
+            print(
+                "error: --resolutions runs batch jobs; it cannot be "
+                "combined with --resume/--checkpoint-dir",
+                file=sys.stderr,
+            )
+            return 1
+        return _detect_resolutions(args, config)
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 1
@@ -395,6 +415,52 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _leveled_path(path: str, resolution: float) -> str:
+    """``communities.txt`` at resolution 0.5 -> ``communities.r0.5.txt``."""
+    import os
+
+    root, ext = os.path.splitext(path)
+    return f"{root}.r{resolution:g}{ext}"
+
+
+def _detect_resolutions(args, config) -> int:
+    """Zoom-level sweep: one cached detection per resolution."""
+    from .core.resultio import save_result, write_communities_text
+    from .service import DetectionRequest, Engine
+
+    try:
+        levels = [float(tok) for tok in args.resolutions.split(",") if tok]
+    except ValueError:
+        print(f"error: bad --resolutions {args.resolutions!r}",
+              file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: --resolutions needs at least one value",
+              file=sys.stderr)
+        return 2
+    request = DetectionRequest(
+        graph_path=args.input, config=config, nranks=args.ranks
+    )
+    with Engine(workers=1) as engine:
+        responses = engine.detect_at_resolutions(request, levels)
+    failed = 0
+    for level, response in zip(levels, responses):
+        print(f"resolution {level:g}: {response.summary()}")
+        result = response.result
+        if result is None:
+            failed += 1
+            continue
+        if args.out:
+            path = _leveled_path(args.out, level)
+            write_communities_text(path, result.assignment)
+            print(f"communities written to {path}")
+        if args.save:
+            path = _leveled_path(args.save, level)
+            save_result(path, result)
+            print(f"result saved to {path}")
+    return 1 if failed else 0
+
+
 def _config_from_args(args):
     from .core import LouvainConfig, Variant
 
@@ -403,6 +469,8 @@ def _config_from_args(args):
         alpha=args.alpha,
         tau=args.tau,
         resolution=args.resolution,
+        refine=args.refine,
+        vertex_following=args.vertex_following,
         seed=args.seed,
     )
 
@@ -766,6 +834,11 @@ def _cmd_tune(args) -> int:
             f"(fingerprint {record.fingerprint[:12]}…) — no trials run"
         )
         print(record.summary())
+        for pt in record.frontier:
+            print(
+                f"  frontier: {pt['elapsed']:.4f}s "
+                f"Q={pt['modularity']:.4f}  {pt['describe']}"
+            )
     else:
         print(report.format())
         print(f"plan stored in {args.db}")

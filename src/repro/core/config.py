@@ -68,6 +68,8 @@ CACHE_KEY_FIELDS = frozenset(
         "max_iterations",
         "seed",
         "use_coloring",
+        "vertex_following",
+        "refine",
         "resolution",
         "track_assignments",
         # Layout-only by design — assignments and modularity stay
@@ -136,6 +138,20 @@ class LouvainConfig:
     #: one after another (paper §VI future work).  More synchronisation
     #: per iteration, fewer iterations to converge.
     use_coloring: bool = False
+    #: Grappolo's vertex-following heuristic (Lu & Halappanavar,
+    #: arXiv:1410.1237 §4.1): merge every single-degree vertex into its
+    #: sole neighbour *before* phase 1 via one extra coarsening, then
+    #: un-merge exactly through the usual original-vertex projection.
+    #: Leaves can never improve modularity by sitting alone, so this
+    #: shrinks phase 1 without changing what communities are reachable.
+    #: Skipped on warm starts and checkpoint resumes (the seed already
+    #: encodes a community structure to respect).
+    vertex_following: bool = False
+    #: Post-phase refinement: "leiden" splits internally disconnected
+    #: communities (the known Louvain defect, Traag et al. 2019) into
+    #: their connected components after every phase's sweep.  Splitting
+    #: along zero-edge cuts never lowers modularity.
+    refine: str = "none"
     #: Only ship ghost community values that changed since the last
     #: exchange (the "further sophistication" §IV-B(b) sketches —
     #: unmoved vertices' ghost copies are already correct).
@@ -190,6 +206,10 @@ class LouvainConfig:
         if self.resolution <= 0.0:
             raise ValueError(
                 f"resolution must be > 0, got {self.resolution}"
+            )
+        if self.refine not in ("none", "leiden"):
+            raise ValueError(
+                f"refine must be 'none' or 'leiden', got {self.refine!r}"
             )
         if self.repartition not in ("none", "community"):
             raise ValueError(

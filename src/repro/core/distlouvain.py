@@ -50,6 +50,7 @@ from .coarsen import rebuild_distributed, remote_lookup
 from .commcache import CommunityCache, aggregate_deltas
 from .config import LouvainConfig
 from .heuristics import EarlyTermination, ThresholdCycler, make_rank_rng
+from .refine import refine_communities
 from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignment
 from .sweep import propose_moves, sorted_lookup
 
@@ -744,6 +745,62 @@ def _save_checkpoint(
     )
 
 
+def _vertex_following_targets(
+    comm: Communicator, dg: DistGraph, config: LouvainConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Community targets of Grappolo's vertex-following pre-merge.
+
+    Closed form of the serial id-order pass in
+    :func:`repro.core.grappolo.vertex_following_seed`: a degree-one
+    vertex ``u`` (exactly one stored entry, not a self-loop) with sole
+    neighbour ``n`` joins ``n``'s community — unless ``n`` is itself
+    degree-one (an isolated edge), in which case both endpoints land on
+    ``max(u, n)``, exactly what the serial in-order pass produces.  The
+    rule is per-vertex and purely structural, so the result is
+    independent of rank count and layout.
+
+    SPMD: one owner-routed degree lookup plus one ghost exchange; every
+    rank calls both even with zero local leaves.  Returns
+    ``(local_comm, ghost_comm)`` ready for
+    :func:`~repro.core.coarsen.rebuild_distributed`.
+    """
+    entry_counts = np.diff(dg.index)
+    own_ids = dg.local_vertex_ids()
+    cand = np.flatnonzero(entry_counts == 1)
+    cand_targets = (
+        dg.edges[dg.index[cand]] if len(cand) else np.empty(0, np.int64)
+    )
+    leaf_mask = cand_targets != own_ids[cand]
+    leaves = cand[leaf_mask]
+    leaf_targets = cand_targets[leaf_mask]
+    # Stored-entry count of each leaf's neighbour, wherever it lives.
+    tgt_deg = remote_lookup(
+        comm,
+        dg.owner_of,
+        leaf_targets,
+        lambda ids: entry_counts[dg.to_local(ids)],
+        category="rebuild",
+    )
+    local_comm = own_ids.copy()
+    if len(leaves):
+        leaf_ids = own_ids[leaves]
+        local_comm[leaves] = np.where(
+            tgt_deg == 1,
+            np.maximum(leaf_ids, leaf_targets),
+            leaf_targets,
+        )
+    comm.charge_compute(dg.num_local)
+    plan = dg.build_ghost_plan(comm)
+    ghost_comm = dg.exchange_ghost_values(
+        comm,
+        plan,
+        local_comm,
+        category="ghost_comm",
+        use_neighbor_collectives=config.use_neighbor_collectives,
+    )
+    return local_comm, ghost_comm
+
+
 def distributed_louvain(
     comm: Communicator,
     dg: DistGraph | None,
@@ -823,6 +880,30 @@ def distributed_louvain(
         start_phase = 0
         resume_iter = None
         phase_assignments = [] if config.track_assignments else None
+        if config.vertex_following and initial_assignment is None:
+            # Grappolo's vertex following: merge single-degree vertices
+            # into their sole neighbour with one extra coarsening before
+            # phase 0.  The un-merge is exact: the original-vertex
+            # projection below folds each leaf through its meta vertex,
+            # so the final assignment maps it wherever its neighbour's
+            # community ends up.  Warm starts (incremental re-detection)
+            # skip the merge — the seed already places every vertex —
+            # and resumed runs restore the post-merge graph from the
+            # checkpoint, so both paths stay bit-identical.
+            vf_local, vf_ghost = _vertex_following_targets(comm, dg, config)
+            vf_dg, vf_new = rebuild_distributed(
+                comm, dg, vf_local, vf_ghost,
+                repartition=config.repartition,
+            )
+            pre_dg = dg
+            orig_slice = remote_lookup(
+                comm,
+                pre_dg.owner_of,
+                orig_slice,
+                lambda ids: vf_new[pre_dg.to_local(ids)],
+                category="rebuild",
+            )
+            dg = vf_dg
 
     for phase in range(start_phase, config.max_phases):
         tau = cycler.tau_for_phase(phase) if cycler else config.tau
@@ -940,6 +1021,36 @@ def distributed_louvain(
                 ghost_fraction=ghost_fraction,
             )
         )
+        if config.refine == "leiden":
+            # Leiden-style refinement: split every community into its
+            # connected components before coarsening.  Zero-edge cuts
+            # mean in_c is preserved while the a_c^2 penalty can only
+            # shrink, so modularity never decreases; connected
+            # communities are merely renamed to their minimum member
+            # (the rebuild renumbers canonically either way).
+            ref_local, ref_ghost = refine_communities(
+                comm,
+                dg,
+                out.local_comm,
+                out.ghost_comm,
+                use_neighbor_collectives=config.use_neighbor_collectives,
+            )
+            if out.tot_owned is not None and out.size_owned is not None:
+                # Keep the owner-side C_info audit-consistent with the
+                # refined labels (same delta protocol as a sweep move).
+                moved = ref_local != out.local_comm
+                _apply_community_deltas(
+                    comm,
+                    dg,
+                    old=out.local_comm[moved],
+                    new=ref_local[moved],
+                    deg=dg.local_degrees()[moved],
+                    tot_owned=out.tot_owned,
+                    size_owned=out.size_owned,
+                )
+            out.local_comm = ref_local
+            out.ghost_comm = ref_ghost
+
         if config.validate_invariants:
             from .validate import (
                 audit_community_info,

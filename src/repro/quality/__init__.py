@@ -1,10 +1,18 @@
 """Quality assessment against ground truth (paper §V-D)."""
 
+from .connectivity import (
+    community_components,
+    count_disconnected_communities,
+    disconnected_communities,
+)
 from .fscore import QualityScores, best_match_scores
 from .nmi import normalized_mutual_information
 
 __all__ = [
     "QualityScores",
     "best_match_scores",
+    "community_components",
+    "count_disconnected_communities",
+    "disconnected_communities",
     "normalized_mutual_information",
 ]

@@ -1,0 +1,79 @@
+"""Internal-connectivity audit of a community assignment.
+
+Louvain can leave a community *internally disconnected* — two vertex
+groups with no edge between them held together only by the aggregate
+``a_c`` term (Traag, Waltman & van Eck 2019).  The
+``LouvainConfig.refine="leiden"`` pass exists to eliminate exactly
+this; these serial checkers are the ground truth the tests and the
+heuristics bench assert against.
+
+All functions take the original :class:`~repro.graph.csr.CSRGraph`
+and a full assignment array (one community label per vertex, any label
+space).  Vertices with no same-community neighbour form their own
+singleton component; an isolated vertex is trivially connected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "community_components",
+    "disconnected_communities",
+    "count_disconnected_communities",
+]
+
+
+def community_components(g: CSRGraph, assignment: np.ndarray) -> np.ndarray:
+    """Connected-component label per vertex, *within* its community.
+
+    Min-label propagation restricted to same-community edges: each
+    vertex's label converges to the smallest vertex id in its
+    ``(community, component)``.  Two vertices share a label iff they
+    are in the same community and connected through it.
+    """
+    assignment = np.asarray(assignment)
+    n = g.num_vertices
+    if len(assignment) != n:
+        raise ValueError(
+            f"assignment covers {len(assignment)} vertices, graph has {n}"
+        )
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.index))
+    targets = g.edges
+    same = assignment[rows] == assignment[targets]
+    rows = rows[same]
+    targets = targets[same]
+    labels = np.arange(n, dtype=np.int64)
+    while True:
+        new = labels.copy()
+        if len(rows):
+            np.minimum.at(new, rows, labels[targets])
+        if np.array_equal(new, labels):
+            return labels
+        labels = new
+
+
+def disconnected_communities(
+    g: CSRGraph, assignment: np.ndarray
+) -> list[int]:
+    """Labels of internally disconnected communities, sorted.
+
+    A community is disconnected when its members span more than one
+    connected component of the community-induced subgraph.
+    """
+    labels = community_components(g, assignment)
+    assignment = np.asarray(assignment)
+    # Count distinct component representatives per community: a vertex
+    # is its component's representative iff its label equals its id.
+    roots = np.flatnonzero(labels == np.arange(g.num_vertices))
+    comms, counts = np.unique(assignment[roots], return_counts=True)
+    return [int(c) for c in comms[counts > 1]]
+
+
+def count_disconnected_communities(
+    g: CSRGraph, assignment: np.ndarray
+) -> int:
+    """Number of internally disconnected communities (0 = all sound)."""
+    return len(disconnected_communities(g, assignment))

@@ -112,6 +112,15 @@ class DetectionRequest:
     #: on a miss the request runs as written and the engine may launch
     #: a background tune job).  ``"off"``: run exactly what was asked.
     tune: str = "off"
+    #: Zoom level of this detection: the resolution parameter gamma,
+    #: folded into the effective ``config`` at construction so each
+    #: resolution is a distinct cache key / result-store entry.  ``None``
+    #: inherits whatever ``config.resolution`` says (so a tuner-planned
+    #: or hand-built config is never silently reset to 1.0).
+    resolution: float | None = None
+    #: Post-phase refinement override ("none" / "leiden"), folded into
+    #: the effective ``config`` exactly like ``resolution``.
+    refine: str | None = None
     #: Owning tenant in a multi-tenant serving tier (``repro.serving``):
     #: fair-share admission groups jobs by this name.  Service-level
     #: only — never affects the detection outcome or the cache key, so
@@ -159,6 +168,29 @@ class DetectionRequest:
             raise ValueError(
                 'tune="auto" needs an input graph to plan for; '
                 'mode="resume" carries none'
+            )
+        if self.resolution is not None and self.resolution <= 0.0:
+            raise ValueError(
+                f"resolution must be > 0, got {self.resolution}"
+            )
+        if self.refine is not None and self.refine not in ("none", "leiden"):
+            raise ValueError(
+                f"refine must be 'none' or 'leiden', got {self.refine!r}"
+            )
+        # Fold the request-level zoom knobs into the effective config so
+        # everything downstream — cache key, checkpoint manifest, the
+        # run itself — sees one consistent LouvainConfig.
+        overrides: dict[str, Any] = {}
+        if (
+            self.resolution is not None
+            and self.resolution != self.config.resolution
+        ):
+            overrides["resolution"] = self.resolution
+        if self.refine is not None and self.refine != self.config.refine:
+            overrides["refine"] = self.refine
+        if overrides:
+            object.__setattr__(
+                self, "config", dataclasses.replace(self.config, **overrides)
             )
 
     # ------------------------------------------------------------------
@@ -289,6 +321,11 @@ class DetectionResponse:
                    else ", restarted")
                 + ")"
             )
+        cfg = self.request.config
+        if cfg.resolution != 1.0:
+            parts.append(f"(resolution={cfg.resolution:g})")
+        if cfg.refine != "none":
+            parts.append(f"(refine={cfg.refine})")
         if self.result is not None:
             parts.append(self.result.summary())
         if self.error:

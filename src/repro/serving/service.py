@@ -257,6 +257,34 @@ class ServingTier:
         kind = "incremental" if request.mode == "incremental" else "batch"
         return self._submit(tenant, request, kind=kind)
 
+    def detect_at_resolutions(
+        self,
+        name: str,
+        resolutions: list[float],
+        *,
+        priority: int = 0,
+    ) -> list[JobHandle]:
+        """Zoom-level API: detect ``name``'s graph at every resolution.
+
+        One batch job per resolution, all sharing the tenant graph's
+        fingerprint — so they route to the same shard and each level
+        lands as its own cached result-store entry.  Handles come back
+        in the order of ``resolutions``.
+        """
+        if not resolutions:
+            raise ValueError("resolutions must be non-empty")
+        tenant = self.registry.get(name)
+        with tenant.lock:
+            base = tenant.build_request(priority=priority, incremental=False)
+        return [
+            self._submit(
+                tenant,
+                dataclasses.replace(base, resolution=float(r)),
+                kind="batch",
+            )
+            for r in resolutions
+        ]
+
     def _submit(
         self,
         tenant: Tenant,

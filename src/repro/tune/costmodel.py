@@ -63,6 +63,20 @@ _DELTA_PAYLOAD_FACTOR = 0.45
 #: ``repartition="community"`` when the featurizer carries no measured
 #: feedback yet (achieved fractions, once observed, replace this guess).
 _REPARTITION_GHOST_FACTOR = 0.7
+#: Per-color-class sweep-round overhead of coloring-ordered sweeps.
+#: Coloring buys modularity (independent sets move on fresh neighbour
+#: state), never time: every iteration runs one synchronised sweep
+#: round per color class, each paying its own scan/bookkeeping pass and
+#: its own ghost/community legs.  The measured simulator shows colored
+#: runs 1.5-4x slower even at one rank, so the model must rank coloring
+#: as strictly more expensive everywhere — a colored candidate reaches
+#: the measured rungs on the Pareto frontier's quality axis, not by
+#: looking cheap.
+_COLORING_ROUND_OVERHEAD = 0.25
+#: Modelled propagation rounds of one Leiden refinement pass (min-label
+#: propagation converges in the intra-community diameter, small for the
+#: dense communities Louvain forms).
+_REFINE_ROUNDS = 4.0
 
 
 @dataclass(frozen=True)
@@ -135,11 +149,37 @@ def predict_cost(
     """Closed-form modelled-seconds estimate for one candidate."""
     config, p = candidate.config, candidate.ranks
     nnz = max(features.mean_degree * features.num_vertices, 1.0)
-    entries_per_rank = nnz / p
+    # Input-sized entries: the on-disk read and VF's pre-coarsening see
+    # the graph as ingested, before any merging shrinks it.
+    input_entries_per_rank = nnz / p
+    entries_per_rank = input_entries_per_rank
     gf = features.ghost_fraction_at(p)
     work_factor, iter_factor = _variant_factors(config, features)
     iters = _iterations_per_phase(features) * iter_factor
     phases = _phase_count(features)
+
+    # Vertex following merges the degree-one population away before
+    # phase 0: each merged leaf removes one vertex and its two stored
+    # entries, shrinking every phase's sweep and comm volume.  The
+    # one-time pre-coarsening is charged below as an extra rebuild.
+    vertex_following = config.vertex_following
+    if vertex_following:
+        leaf = min(features.degree_one_fraction, 0.95)
+        entries_per_rank *= 1.0 - min(
+            2.0 * leaf / max(features.mean_degree, 1.0), 0.9
+        )
+
+    # Coloring-ordered sweeps: one synchronised sweep round per color
+    # class inside each iteration — per-round scan overhead on the
+    # compute side, per-round ghost/community legs on the comm side,
+    # plus the one-time distance-1 coloring itself.  The class count
+    # grows with density.
+    colors = 1.0
+    if config.use_coloring:
+        import math
+
+        colors = min(8.0, 2.0 + math.log2(features.mean_degree + 2.0))
+        work_factor *= 1.0 + _COLORING_ROUND_OVERHEAD * (colors - 1.0)
 
     # Estimated neighbour count for the MPI-3 neighbourhood collectives:
     # with a 1-D contiguous partition most ghost traffic is near-range.
@@ -163,6 +203,14 @@ def predict_cost(
         gf_coarse = gf
 
     compute = ghost = community = allreduce = rebuild = partition = 0.0
+    refine = 0.0
+    if vertex_following:
+        # The pre-coarsening: a rebuild-sized alltoallv on the *input*
+        # graph plus the owner-routed neighbour-degree lookup.
+        vf_bytes = int(input_entries_per_rank * _REBUILD_ENTRY_BYTES)
+        rebuild += machine.alltoallv_cost(
+            vf_bytes, vf_bytes, p, rank=0
+        ) + machine.allreduce_cost(64, p)
     size = 1.0  # relative size of the current phase's graph
     for k in range(phases):
         e = entries_per_rank * size
@@ -196,9 +244,32 @@ def predict_cost(
             per_iter_allreduce += machine.allreduce_cost(16, p)
 
         compute += iters * per_iter_compute
-        ghost += iters * per_iter_ghost
-        community += iters * per_iter_community
+        # Each color class pays its own ghost refresh and community
+        # round trip inside one iteration; the end-of-iteration
+        # allreduce stays single.
+        ghost += iters * per_iter_ghost * colors
+        community += iters * per_iter_community * colors
         allreduce += iters * per_iter_allreduce
+        if config.use_coloring:
+            # One distance-1 coloring per phase: a few conflict-
+            # resolution sweeps over the adjacency, each with a
+            # convergence vote.
+            compute += machine.compute_cost(3.0 * e)
+            allreduce += 3.0 * machine.allreduce_cost(16, p)
+
+        if config.refine == "leiden":
+            # Per-phase refinement: a few min-label propagation rounds
+            # (ghost exchange + convergence vote each) plus the
+            # owner-routed split census and label-clash audit.
+            refine += _REFINE_ROUNDS * (
+                per_iter_ghost + machine.allreduce_cost(8, p)
+            ) + 2.0 * machine.exchange_leg_cost(
+                int(gf_k * e * _GHOST_ENTRY_BYTES),
+                int(gf_k * e * _GHOST_ENTRY_BYTES),
+                p,
+                rank=0,
+                degree=degree,
+            )
 
         rebuild_bytes = int(e * _REBUILD_ENTRY_BYTES)
         rebuild += machine.alltoallv_cost(
@@ -214,7 +285,7 @@ def predict_cost(
             ) + machine.compute_cost(e * _PHASE_SHRINK * p)
         size *= _PHASE_SHRINK
 
-    io = machine.io_cost(entries_per_rank * _INPUT_ENTRY_BYTES)
+    io = machine.io_cost(input_entries_per_rank * _INPUT_ENTRY_BYTES)
     breakdown = {
         "compute": compute,
         "ghost_comm": ghost,
@@ -222,6 +293,7 @@ def predict_cost(
         "allreduce": allreduce,
         "rebuild": rebuild,
         "partition": partition,
+        "refine": refine,
         "io": io,
     }
     return CostEstimate(

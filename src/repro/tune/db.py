@@ -68,6 +68,11 @@ class TuningRecord:
     schedule: tuple[dict[str, Any], ...] = ()
     #: Full trial log: per-run measured seconds and modularity.
     trials: tuple[dict[str, Any], ...] = ()
+    #: Quality/speed Pareto frontier over the full-fidelity runs
+    #: (baseline + finalists): sorted by modelled seconds ascending,
+    #: each point strictly higher modularity than the one before it.
+    #: Points are ``{candidate, describe, elapsed, modularity}`` dicts.
+    frontier: tuple[dict[str, Any], ...] = ()
     #: Total modelled seconds spent on measured trials (tuning cost).
     tune_seconds: float = 0.0
     #: Unix timestamp of when the record was created.
@@ -104,6 +109,7 @@ class TuningRecord:
             "machine": self.machine,
             "schedule": list(self.schedule),
             "trials": list(self.trials),
+            "frontier": list(self.frontier),
             "tune_seconds": self.tune_seconds,
             "created": self.created,
             "last_used": self.last_used,
@@ -128,6 +134,8 @@ class TuningRecord:
             machine=str(data["machine"]),
             schedule=tuple(data.get("schedule", ())),
             trials=tuple(data.get("trials", ())),
+            # Pre-frontier records load with an empty frontier.
+            frontier=tuple(data.get("frontier", ())),
             tune_seconds=float(data.get("tune_seconds", 0.0)),
             created=float(data.get("created", 0.0)),
             last_used=float(data.get("last_used", 0.0)),

@@ -37,7 +37,10 @@ DEFAULT_GHOST_PROBES: tuple[int, ...] = (2, 4, 8)
 #: unchanged as "static graph, no churn observed").
 #: v3 added the achieved-ghost-fraction feedback map (default empty, so
 #: v1/v2 records load unchanged as "no repartitioned run observed").
-FEATURES_VERSION = 3
+#: v4 added the degree-one vertex fraction (default 0.0, so older
+#: records load unchanged as "no leaves": vertex following then gets no
+#: modelled discount, which is the conservative estimate).
+FEATURES_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,10 @@ class GraphFeatures:
     #: Streaming workloads only: vertices incident to churn per window
     #: as a fraction of ``n`` — the warm-restart reset footprint.
     churn_touched_fraction: float = 0.0
+    #: Fraction of vertices with exactly one stored adjacency entry —
+    #: the population Grappolo's vertex-following heuristic merges away
+    #: before phase 1, hence the direct driver of its modelled payoff.
+    degree_one_fraction: float = 0.0
     #: Measured feedback from ``repartition="community"`` runs:
     #: p -> mean *achieved* cross-rank entry fraction of the coarse
     #: phases (phases >= 1).  Empty until a repartitioned run reports
@@ -147,6 +154,7 @@ class GraphFeatures:
             self.ghost_fraction_at(max(DEFAULT_GHOST_PROBES)),
             min(self.churn_edge_fraction, 1.0),
             min(self.churn_touched_fraction, 1.0),
+            min(self.degree_one_fraction, 1.0),
             # Achieved coarse-phase fraction under community repartition;
             # falls back to the static estimate so unmeasured records
             # (this axis then duplicates the one above) stay comparable.
@@ -190,6 +198,7 @@ class GraphFeatures:
             },
             "churn_edge_fraction": self.churn_edge_fraction,
             "churn_touched_fraction": self.churn_touched_fraction,
+            "degree_one_fraction": self.degree_one_fraction,
             "achieved_ghost_fraction": {
                 str(p): float(f)
                 for p, f in sorted(self.achieved_ghost_fraction.items())
@@ -214,6 +223,8 @@ class GraphFeatures:
             churn_touched_fraction=float(
                 data.get("churn_touched_fraction", 0.0)
             ),
+            # v1-v3 records carry no leaf census: load as "no leaves".
+            degree_one_fraction=float(data.get("degree_one_fraction", 0.0)),
             # v1/v2 records carry no feedback map: load as unmeasured.
             achieved_ghost_fraction={
                 int(p): float(f)
@@ -241,7 +252,8 @@ class GraphFeatures:
         return (
             f"n={self.num_vertices} m={self.num_edges} "
             f"deg[mean={self.mean_degree:.2f} cv={self.degree_cv:.2f} "
-            f"skew={self.degree_skew:.2f}] ghost[{ghosts}]{churn}"
+            f"skew={self.degree_skew:.2f} "
+            f"leaf={self.degree_one_fraction:.2f}] ghost[{ghosts}]{churn}"
         )
 
 
@@ -264,6 +276,9 @@ def compute_features(
         degree_cv=(std / mean) if mean > 0 else 0.0,
         degree_skew=skew,
         max_degree_fraction=(float(counts.max()) / n) if n else 0.0,
+        degree_one_fraction=(
+            float(np.count_nonzero(counts == 1) / n) if n else 0.0
+        ),
         ghost_fraction={
             p: _ghost_fraction(g, p) for p in ghost_probes if p <= max(n, 1)
         },

@@ -18,6 +18,14 @@ must reach the paper-default baseline's within ``quality_tolerance``,
 otherwise the next-fastest finalist is considered, and if none passes
 the plan falls back to the baseline config itself (never ship a fast
 plan that detects worse communities).
+
+The full-fidelity runs (baseline + finalists) additionally yield a
+**Pareto frontier** over (modelled seconds, modularity): the heuristic
+axes added since the paper — coloring, vertex following, Leiden-style
+refinement — trade speed against quality rather than strictly winning
+on one, so the report exposes the whole frontier instead of collapsing
+it to a single winner.  Callers who care about quality more than the
+guard requires can pick a slower, higher-Q point off the frontier.
 """
 
 from __future__ import annotations
@@ -56,6 +64,34 @@ def _achieved_ghost(result: LouvainResult) -> float | None:
     if not gfs:
         return None
     return float(sum(gfs) / len(gfs))
+
+
+def _pareto_frontier(
+    points: list[tuple[float, float, Candidate]],
+) -> tuple[dict[str, Any], ...]:
+    """Non-dominated (elapsed, modularity) points, fastest first.
+
+    A point survives iff no other point is both at-most-as-slow and
+    strictly higher-quality: scanning by elapsed ascending, keep a
+    point only when its modularity strictly exceeds every faster
+    point's.  Ties (same elapsed and modularity) keep the first by
+    candidate key, so the frontier is deterministic.
+    """
+    ordered = sorted(points, key=lambda p: (p[0], -p[1], p[2].key()))
+    frontier: list[dict[str, Any]] = []
+    best_q = -math.inf
+    for elapsed, modularity, cand in ordered:
+        if modularity > best_q:
+            best_q = modularity
+            frontier.append(
+                {
+                    "candidate": cand.key(),
+                    "describe": cand.describe(),
+                    "elapsed": elapsed,
+                    "modularity": modularity,
+                }
+            )
+    return tuple(frontier)
 
 
 @dataclass(frozen=True)
@@ -148,6 +184,16 @@ class SearchReport:
             lines.append(
                 f"  rung {t.rung}: {t.candidate.describe():<40} {cap:>14}  "
                 f"{t.elapsed:.4f}s  Q={t.modularity:.4f}"
+            )
+        if rec.frontier:
+            lines.append(
+                f"  pareto frontier ({len(rec.frontier)} point(s), "
+                "modelled seconds x modularity):"
+            )
+            lines.extend(
+                f"    {pt['elapsed']:.4f}s  Q={pt['modularity']:.4f}  "
+                f"{pt['describe']}"
+                for pt in rec.frontier
             )
         lines.extend(f"  {n}" for n in self.notes)
         lines.append(f"  {rec.summary()}")
@@ -308,6 +354,20 @@ def plan_for_graph(
         )
 
     win_elapsed, win_modularity, win_cand = winner
+
+    # Pareto frontier over every full-fidelity run (baseline included,
+    # deduplicated by candidate): the quality/speed trade-offs of the
+    # heuristic axes, not just the guard's single winner.
+    full_runs: list[tuple[float, float, Candidate]] = [
+        (baseline_result.elapsed, baseline_result.modularity, baseline_cand)
+    ]
+    seen_full = {baseline_cand.key()}
+    for elapsed, modularity, cand in finalists:
+        if cand.key() not in seen_full:
+            seen_full.add(cand.key())
+            full_runs.append((elapsed, modularity, cand))
+    frontier = _pareto_frontier(full_runs)
+
     record = TuningRecord(
         fingerprint=g.fingerprint(),
         features=features,
@@ -334,6 +394,7 @@ def plan_for_graph(
             for t in trials
         ),
         trials=tuple(t.to_dict() for t in trials),
+        frontier=frontier,
         tune_seconds=spent,
         created=time.time(),
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
+from itertools import product
 from typing import Any, Iterator
 
 from ..core.config import DEFAULT_THRESHOLD_CYCLE, LouvainConfig, Variant
@@ -69,6 +70,12 @@ class Candidate:
             extras.append("delta")
         if cfg.use_neighbor_collectives:
             extras.append("nbr")
+        if cfg.use_coloring:
+            extras.append("coloring")
+        if cfg.vertex_following:
+            extras.append("vf")
+        if cfg.refine != "none":
+            extras.append(f"refine={cfg.refine}")
         if cfg.repartition != "none":
             extras.append(f"repart={cfg.repartition}")
         tail = (" " + " ".join(extras)) if extras else ""
@@ -109,6 +116,14 @@ class SearchSpace:
     #: Phase-boundary layouts (outcome-identical for the deterministic
     #: variants; runtime differs via the coarse ghost fraction).
     repartitions: tuple[str, ...] = ("none", "community")
+    #: Grappolo heuristics and Leiden refinement (quality/speed axes —
+    #: these change the detection *outcome*, so the Pareto frontier is
+    #: where their trade-offs surface).  The resolution parameter is
+    #: deliberately *not* an axis: it is pinned per-request through
+    #: ``base`` (a zoom level is a caller choice, not a tunable).
+    colorings: tuple[bool, ...] = (False, True)
+    vertex_following: tuple[bool, ...] = (False, True)
+    refines: tuple[str, ...] = ("none", "leiden")
     #: Base config every candidate derives from (tau, caps, seed, ...).
     base: LouvainConfig = field(default_factory=LouvainConfig)
 
@@ -174,7 +189,18 @@ class SearchSpace:
                                             if ranks > 1
                                             else (base.repartition,)
                                         )
-                                        for repart in reparts:
+                                        heuristics = product(
+                                            reparts,
+                                            self.colorings,
+                                            self.vertex_following,
+                                            self.refines,
+                                        )
+                                        for (
+                                            repart,
+                                            coloring,
+                                            vf,
+                                            refine,
+                                        ) in heuristics:
                                             try:
                                                 config = replace(
                                                     base,
@@ -188,6 +214,9 @@ class SearchSpace:
                                                     ghost_delta_updates=delta,
                                                     use_neighbor_collectives=nbr,
                                                     repartition=repart,
+                                                    use_coloring=coloring,
+                                                    vertex_following=vf,
+                                                    refine=refine,
                                                 )
                                             except ValueError:
                                                 continue  # constraint oracle said no

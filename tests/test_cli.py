@@ -332,3 +332,77 @@ class TestTuneCli:
         rc = main(["submit", graph_file, "--tune-db", db])
         assert rc == 0
         assert "(tuned)" in capsys.readouterr().out
+
+
+class TestMultiResolution:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from tests.conftest import planted_blocks_graph
+        from repro.graph import write_edgelist
+
+        g = planted_blocks_graph(
+            blocks=4, per_block=10, p_in=0.8, inter_edges=6, seed=3
+        )
+        path = str(tmp_path / "g.bin")
+        write_edgelist(path, EdgeList.from_csr(g))
+        return path
+
+    def test_sweep_prints_one_line_per_level(self, graph_file, capsys):
+        rc = main([
+            "detect", graph_file, "--ranks", "2",
+            "--resolutions", "0.5,1.0,2.0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resolution 0.5:" in out
+        assert "resolution 1:" in out
+        assert "resolution 2:" in out
+
+    def test_sweep_writes_leveled_outputs(self, tmp_path, graph_file, capsys):
+        comm = str(tmp_path / "c.txt")
+        npz = str(tmp_path / "r.npz")
+        rc = main([
+            "detect", graph_file, "--ranks", "2",
+            "--resolutions", "0.5,2.0", "--out", comm, "--save", npz,
+        ])
+        assert rc == 0
+        for suffix in ("r0.5", "r2"):
+            labels = read_communities_text(
+                str(tmp_path / f"c.{suffix}.txt")
+            )
+            assert len(labels) == 40
+            assert load_result(
+                str(tmp_path / f"r.{suffix}.npz")
+            ).num_communities > 0
+
+    def test_bad_levels_rejected(self, graph_file, capsys):
+        assert main([
+            "detect", graph_file, "--resolutions", "fast,1.0",
+        ]) == 2
+        assert "resolutions" in capsys.readouterr().err
+
+    def test_sweep_refuses_resume(self, graph_file, capsys):
+        rc = main([
+            "detect", graph_file, "--resolutions", "1.0", "--resume",
+            "--checkpoint-dir", "/tmp/nope",
+        ])
+        assert rc == 1
+        assert "--resolutions" in capsys.readouterr().err
+
+    def test_heuristic_flags_accepted(self, graph_file, capsys):
+        rc = main([
+            "detect", graph_file, "--ranks", "2",
+            "--refine", "leiden", "--vertex-following",
+        ])
+        assert rc == 0
+        assert "Baseline" in capsys.readouterr().out
+
+    def test_submit_shares_config_flags(self, tmp_path, graph_file, capsys):
+        rc = main([
+            "submit", graph_file, "--ranks", "2",
+            "--resolution", "2.0", "--refine", "leiden",
+            "--vertex-following",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done" in out

@@ -1,0 +1,171 @@
+"""Tests for the multi-resolution detection API.
+
+``DetectionRequest`` grew two request-level quality knobs —
+``resolution`` (the gamma zoom level) and ``refine`` — that fold into
+the effective config, so they must produce distinct cache keys, show up
+in response summaries, and flow through ``detect_at_resolutions`` on
+both the Engine and the serving tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LouvainConfig
+from repro.core.distlouvain import run_louvain
+from repro.generators import make_graph
+from repro.service import DetectionRequest, Engine, JobState, ResultStore
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_graph("soc-friendster", scale="tiny")
+
+
+class TestRequestKnobs:
+    def test_resolution_folds_into_config(self, tiny):
+        req = DetectionRequest(graph=tiny, nranks=2, resolution=2.0)
+        assert req.config.resolution == 2.0
+
+    def test_refine_folds_into_config(self, tiny):
+        req = DetectionRequest(graph=tiny, nranks=2, refine="leiden")
+        assert req.config.refine == "leiden"
+
+    def test_none_inherits_config(self, tiny):
+        cfg = LouvainConfig(resolution=0.5, refine="leiden")
+        req = DetectionRequest(graph=tiny, nranks=2, config=cfg)
+        assert req.config.resolution == 0.5
+        assert req.config.refine == "leiden"
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_resolution_rejected(self, tiny, bad):
+        with pytest.raises(ValueError, match="resolution"):
+            DetectionRequest(graph=tiny, nranks=2, resolution=bad)
+
+    def test_unknown_refine_rejected(self, tiny):
+        with pytest.raises(ValueError, match="refine"):
+            DetectionRequest(graph=tiny, nranks=2, refine="louvain")
+
+    def test_summary_stamps_non_defaults(self, tiny):
+        with Engine(workers=1) as engine:
+            req = DetectionRequest(
+                graph=tiny, nranks=2, resolution=2.0, refine="leiden"
+            )
+            response = engine.detect(req)
+        assert "resolution=2" in response.summary()
+        assert "refine=leiden" in response.summary()
+
+    def test_summary_silent_at_defaults(self, tiny):
+        with Engine(workers=1) as engine:
+            response = engine.detect(DetectionRequest(graph=tiny, nranks=2))
+        assert "resolution" not in response.summary()
+        assert "refine" not in response.summary()
+
+
+class TestCacheKeys:
+    def test_each_resolution_is_a_distinct_key(self, tiny):
+        keys = {
+            DetectionRequest(graph=tiny, nranks=2, resolution=r).cache_key()
+            for r in (0.5, 1.0, 2.0)
+        }
+        assert len(keys) == 3
+
+    def test_refine_changes_the_key(self, tiny):
+        plain = DetectionRequest(graph=tiny, nranks=2).cache_key()
+        refined = DetectionRequest(
+            graph=tiny, nranks=2, refine="leiden"
+        ).cache_key()
+        assert plain != refined
+
+    def test_vertex_following_changes_the_key(self, tiny):
+        plain = DetectionRequest(graph=tiny, nranks=2).cache_key()
+        vf = DetectionRequest(
+            graph=tiny,
+            nranks=2,
+            config=LouvainConfig(vertex_following=True),
+        ).cache_key()
+        assert plain != vf
+
+    def test_same_resolution_same_key(self, tiny):
+        a = DetectionRequest(graph=tiny, nranks=2, resolution=2.0)
+        b = DetectionRequest(graph=tiny, nranks=2, resolution=2.0)
+        assert a.cache_key() == b.cache_key()
+
+    def test_repeat_at_resolution_hits_cache_bit_identical(self, tiny):
+        req = DetectionRequest(graph=tiny, nranks=2, resolution=2.0)
+        with Engine(workers=1, store=ResultStore(capacity=8)) as engine:
+            first = engine.wait(engine.submit(req))
+            second = engine.wait(engine.submit(req))
+        assert not first.cache_hit
+        assert second.cache_hit
+        np.testing.assert_array_equal(
+            first.result.assignment, second.result.assignment
+        )
+        assert first.result.modularity == second.result.modularity
+
+
+class TestDetectAtResolutions:
+    def test_one_response_per_level_in_order(self, tiny):
+        levels = [0.5, 1.0, 2.0]
+        base = DetectionRequest(graph=tiny, nranks=2)
+        with Engine(workers=2) as engine:
+            responses = engine.detect_at_resolutions(base, levels)
+        assert len(responses) == len(levels)
+        for level, response in zip(levels, responses):
+            assert response.state is JobState.DONE
+            assert response.request.config.resolution == level
+
+    def test_matches_direct_runs(self, tiny):
+        base = DetectionRequest(graph=tiny, nranks=2)
+        with Engine(workers=2) as engine:
+            responses = engine.detect_at_resolutions(base, [0.5, 2.0])
+        for level, response in zip((0.5, 2.0), responses):
+            ref = run_louvain(
+                tiny, 2, LouvainConfig(resolution=level)
+            )
+            np.testing.assert_array_equal(
+                response.result.assignment, ref.assignment
+            )
+
+    def test_zoom_monotonicity(self, tiny):
+        # Higher gamma favours smaller communities: community count is
+        # non-decreasing as the zoom level rises.
+        base = DetectionRequest(graph=tiny, nranks=2)
+        with Engine(workers=2) as engine:
+            responses = engine.detect_at_resolutions(base, [0.25, 1.0, 4.0])
+        counts = [r.result.num_communities for r in responses]
+        assert counts == sorted(counts)
+
+    def test_empty_levels_rejected(self, tiny):
+        with Engine(workers=1) as engine:
+            with pytest.raises(ValueError, match="resolutions"):
+                engine.detect_at_resolutions(
+                    DetectionRequest(graph=tiny, nranks=2), []
+                )
+
+    def test_request_refine_rides_along(self, tiny):
+        base = DetectionRequest(graph=tiny, nranks=2, refine="leiden")
+        with Engine(workers=1) as engine:
+            (response,) = engine.detect_at_resolutions(base, [2.0])
+        assert response.request.config.refine == "leiden"
+        assert response.request.config.resolution == 2.0
+
+
+class TestServingTierSweep:
+    def test_one_assignment_per_level(self):
+        from repro.serving import ServingTier
+
+        g = make_graph("channel", scale="tiny", seed=0)
+        tier = ServingTier(shards=1, workers_per_shard=2)
+        try:
+            tier.create_tenant("t", nranks=2)
+            tier.load_graph("t", g)
+            with pytest.raises(ValueError, match="resolutions"):
+                tier.detect_at_resolutions("t", [])
+            handles = tier.detect_at_resolutions("t", [0.5, 1.0, 2.0])
+            responses = [tier.wait(h, timeout=180.0) for h in handles]
+        finally:
+            tier.shutdown()
+        assert len(responses) == 3
+        for level, response in zip((0.5, 1.0, 2.0), responses):
+            assert response.state is JobState.DONE
+            assert response.request.config.resolution == level

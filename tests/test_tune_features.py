@@ -86,3 +86,27 @@ class TestDistance:
 
     def test_vector_is_finite(self, channel):
         assert all(math.isfinite(x) for x in compute_features(channel).vector())
+
+
+class TestDegreeOneFraction:
+    def test_star_is_mostly_leaves(self, star_graph):
+        f = compute_features(star_graph)
+        assert f.degree_one_fraction == pytest.approx(8 / 9)
+
+    def test_clique_has_no_leaves(self, two_cliques):
+        assert compute_features(two_cliques).degree_one_fraction == 0.0
+
+    def test_round_trips(self, channel):
+        f = compute_features(channel)
+        restored = GraphFeatures.from_dict(f.to_dict())
+        assert restored.degree_one_fraction == f.degree_one_fraction
+
+    def test_v3_records_default_to_zero(self, channel):
+        legacy = compute_features(channel).to_dict()
+        del legacy["degree_one_fraction"]
+        assert GraphFeatures.from_dict(legacy).degree_one_fraction == 0.0
+
+    def test_in_vector_and_format(self, star_graph):
+        f = compute_features(star_graph)
+        assert any(v == pytest.approx(8 / 9) for v in f.vector())
+        assert "leaf=0.89" in f.format()

@@ -185,3 +185,118 @@ class TestTuneGraph:
             TunerSettings(budget_seconds=0.0)
         with pytest.raises(ValueError):
             TunerSettings(baseline_ranks=0)
+
+
+class TestHeuristicCostTerms:
+    def test_vertex_following_discount_scales_with_leaves(self):
+        from repro.tune import GraphFeatures
+
+        # Leaf-heavy graph, big enough that per-phase savings dominate
+        # the one-time pre-coarsening rebuild.
+        feats = GraphFeatures(
+            num_vertices=100_000,
+            num_edges=800_000,
+            mean_degree=16.0,
+            degree_cv=1.2,
+            degree_skew=2.0,
+            max_degree_fraction=0.01,
+            ghost_fraction={2: 0.2, 4: 0.35, 8: 0.45},
+            degree_one_fraction=0.4,
+        )
+        base = Candidate(config=LouvainConfig(), ranks=4)
+        vf = Candidate(
+            config=LouvainConfig(vertex_following=True), ranks=4
+        )
+        plain = predict_cost(feats, base, CORI_HASWELL)
+        merged = predict_cost(feats, vf, CORI_HASWELL)
+        assert merged.seconds < plain.seconds
+        assert merged.breakdown["rebuild"] > plain.breakdown["rebuild"]
+        # The input read is unaffected: the file is the same size.
+        assert merged.breakdown["io"] == plain.breakdown["io"]
+
+    def test_refine_charges_its_own_breakdown_key(self, channel):
+        from repro.tune import compute_features
+
+        feats = compute_features(channel)
+        plain = predict_cost(
+            feats, Candidate(config=LouvainConfig(), ranks=4), CORI_HASWELL
+        )
+        refined = predict_cost(
+            feats,
+            Candidate(config=LouvainConfig(refine="leiden"), ranks=4),
+            CORI_HASWELL,
+        )
+        assert plain.breakdown["refine"] == 0.0
+        assert refined.breakdown["refine"] > 0.0
+        assert refined.seconds > plain.seconds
+
+    def test_coloring_never_predicted_cheaper(self, channel):
+        # Coloring buys modularity, never time: the measured simulator
+        # runs colored sweeps 1.5-4x slower even at one rank, so the
+        # model must rank coloring strictly more expensive at every
+        # rank count — a mis-signed discount here floods the screening
+        # cohort with colored candidates that lose every measured rung.
+        from repro.tune import compute_features
+
+        feats = compute_features(channel)
+        for p in (1, 4, 8):
+            plain = predict_cost(
+                feats, Candidate(config=LouvainConfig(), ranks=p),
+                CORI_HASWELL,
+            )
+            colored = predict_cost(
+                feats,
+                Candidate(config=LouvainConfig(use_coloring=True), ranks=p),
+                CORI_HASWELL,
+            )
+            assert colored.seconds > plain.seconds
+            # Per-color sweep rounds cost compute even without comm.
+            assert colored.breakdown["compute"] > plain.breakdown["compute"]
+            if p > 1:
+                assert (
+                    colored.breakdown["ghost_comm"]
+                    > plain.breakdown["ghost_comm"]
+                )
+
+
+class TestParetoFrontier:
+    def test_frontier_shape_and_order(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        frontier = report.record.frontier
+        assert len(frontier) >= 1
+        elapsed = [pt["elapsed"] for pt in frontier]
+        quality = [pt["modularity"] for pt in frontier]
+        assert elapsed == sorted(elapsed)
+        # Strictly increasing modularity: no dominated point survives.
+        assert all(b > a for a, b in zip(quality, quality[1:]))
+
+    def test_frontier_contains_best_quality_run(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        full = [t for t in report.trials if t.max_phases is None]
+        best_q = max(t.modularity for t in full)
+        assert report.record.frontier[-1]["modularity"] == best_q
+
+    def test_frontier_round_trips_through_db(self, channel, tmp_path):
+        db = TuningDB(str(tmp_path / "db.json"))
+        record, cached = tune_graph(
+            channel, db, space=SMALL_SPACE, settings=FAST
+        )
+        assert not cached
+        reloaded = TuningDB(str(tmp_path / "db.json")).get(record.fingerprint)
+        assert reloaded.frontier == record.frontier
+
+    def test_pre_frontier_records_load_empty(self):
+        from repro.tune.db import TuningRecord
+
+        record = plan_for_graph(
+            make_graph("channel", scale="tiny", seed=0),
+            space=SMALL_SPACE,
+            settings=FAST,
+        ).record
+        legacy = record.to_dict()
+        del legacy["frontier"]
+        assert TuningRecord.from_dict(legacy).frontier == ()
+
+    def test_format_lists_frontier(self, channel):
+        report = plan_for_graph(channel, space=SMALL_SPACE, settings=FAST)
+        assert "pareto frontier" in report.format()

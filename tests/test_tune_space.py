@@ -87,3 +87,51 @@ class TestCandidate:
 
     def test_describe_mentions_ranks(self):
         assert "x4" in Candidate(config=LouvainConfig(), ranks=4).describe()
+
+
+class TestHeuristicAxes:
+    def test_space_covers_heuristic_combinations(self):
+        cands = SearchSpace(
+            variants=("baseline",),
+            rank_counts=(2,),
+            community_push=(False,),
+            ghost_delta=(False,),
+            repartitions=("none",),
+        ).candidates()
+        combos = {
+            (c.config.use_coloring, c.config.vertex_following, c.config.refine)
+            for c in cands
+        }
+        assert combos == {
+            (col, vf, ref)
+            for col in (False, True)
+            for vf in (False, True)
+            for ref in ("none", "leiden")
+        }
+
+    def test_describe_tags_heuristics(self):
+        from dataclasses import replace
+
+        from repro.core import LouvainConfig
+
+        cfg = replace(
+            LouvainConfig(),
+            use_coloring=True,
+            vertex_following=True,
+            refine="leiden",
+        )
+        text = Candidate(config=cfg, ranks=2).describe()
+        assert "coloring" in text
+        assert "vf" in text
+        assert "refine=leiden" in text
+
+    def test_heuristics_change_candidate_key(self):
+        from dataclasses import replace
+
+        from repro.core import LouvainConfig
+
+        base = Candidate(config=LouvainConfig(), ranks=2)
+        vf = Candidate(
+            config=replace(LouvainConfig(), vertex_following=True), ranks=2
+        )
+        assert base.key() != vf.key()
