@@ -5,6 +5,8 @@ these track the real wall-clock cost of the library's inner kernels so
 performance regressions of the simulator itself are visible:
 
 * the vectorised move-selection sweep;
+* the vectorised greedy coloring and vertex-following seeds (and their
+  reference per-vertex scans, kept as before/after comparisons);
 * serial graph coarsening;
 * CSR construction from edge lists;
 * one full communicator round trip (alltoall) across ranks;
@@ -18,6 +20,12 @@ import numpy as np
 
 from repro.core import coarsen_csr, pack_info
 from repro.core.commcache import CommunityCache
+from repro.core.grappolo import (
+    _greedy_coloring_loop,
+    _vertex_following_loop,
+    greedy_coloring,
+    vertex_following_seed,
+)
 from repro.core.sweep import propose_moves
 from repro.generators import generate_lfr
 from repro.graph import CSRGraph, DistGraph, EdgeList
@@ -50,6 +58,36 @@ def test_kernel_propose_moves(benchmark):
         size_lookup=lambda ids: size[ids],
     )
     assert result.num_moves > 0
+
+
+def test_kernel_greedy_coloring(benchmark):
+    g = _graph().to_csr()
+
+    colors = benchmark(greedy_coloring, g)
+    assert colors.min() == 0
+
+
+def test_kernel_greedy_coloring_loop(benchmark):
+    # Reference per-vertex scan: the "before" of the vectorised kernel.
+    g = _graph().to_csr()
+
+    colors = benchmark(_greedy_coloring_loop, g)
+    assert colors.min() == 0
+
+
+def test_kernel_vertex_following(benchmark):
+    g = _graph().to_csr()
+
+    comm = benchmark(vertex_following_seed, g)
+    assert len(comm) == g.num_vertices
+
+
+def test_kernel_vertex_following_loop(benchmark):
+    # Reference per-vertex scan: the "before" of the vectorised kernel.
+    g = _graph().to_csr()
+
+    comm = benchmark(_vertex_following_loop, g)
+    assert len(comm) == g.num_vertices
 
 
 def test_kernel_coarsen(benchmark):

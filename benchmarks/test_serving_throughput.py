@@ -15,7 +15,10 @@ keeps the tier honest under the workload it was built for:
 * **fairness**: a saturated single-worker fair-share scheduler serving
   a heavy (24-job) and a starved (6-job) tenant — the ISSUE's
   acceptance bound, starved p95 queue wait within 2x of the heavy
-  tenant's, is asserted here.
+  tenant's, is asserted here;
+* **observability overhead**: fresh-compute jobs/s through one engine
+  with the full observability stack on (event log + drift monitor +
+  periodic Prometheus exporter) vs off — asserted under 5%.
 
 Wall-clock times are real (the shards multiplex actual simulator
 runs), unlike the modelled times of the paper-reproduction benches.
@@ -173,5 +176,80 @@ def test_serving_throughput(record_result, record_bench, tmp_path):
             "hit_rate_under_churn": round(hit_rate_under_churn, 3),
             "heavy_p95_queue_s": round(heavy_p95, 5),
             "starved_p95_queue_s": round(starved_p95, 5),
+        },
+    )
+
+
+def _fresh_compute_rate(tmp_path, tag, repeats, jobs, observed):
+    """Best-of-N jobs/s for fresh (uncached) detections on one worker."""
+    graph = make_graph("soc-friendster", scale="tiny", seed=5)
+    request = DetectionRequest(graph=graph, nranks=2)
+    best = 0.0
+    for rep in range(repeats):
+        event_log = None
+        drift = None
+        if observed:
+            from repro.obs import DriftMonitor, EventLog
+
+            event_log = EventLog(
+                tmp_path / f"{tag}-{rep}.jsonl", origin="bench"
+            )
+            drift = DriftMonitor()
+        with Engine(
+            workers=1, store=None, event_log=event_log, drift=drift
+        ) as engine:
+            exporter = None
+            if observed:
+                from repro.obs import PeriodicExporter
+
+                exporter = PeriodicExporter(
+                    lambda: engine.metrics.registry.snapshot(),
+                    prometheus_path=tmp_path / f"{tag}-{rep}.prom",
+                    interval=0.05,
+                )
+            try:
+                t0 = time.perf_counter()
+                ids = [engine.submit(request) for _ in range(jobs)]
+                responses = engine.wait_all(ids, timeout=WAIT)
+                elapsed = time.perf_counter() - t0
+            finally:
+                if exporter is not None:
+                    exporter.close()
+        if event_log is not None:
+            event_log.close()
+        assert all(r.state.value == "done" for r in responses)
+        best = max(best, jobs / elapsed)
+    return best
+
+
+def test_observability_overhead(record_result, record_bench, tmp_path):
+    """The obs stack must stay passive in cost, not just in results."""
+    repeats, jobs = 3, 8
+    rate_off = _fresh_compute_rate(
+        tmp_path, "off", repeats, jobs, observed=False
+    )
+    rate_on = _fresh_compute_rate(
+        tmp_path, "on", repeats, jobs, observed=True
+    )
+    overhead = max(0.0, 1.0 - rate_on / rate_off)
+    assert overhead < 0.05, (
+        f"observability overhead {overhead:.1%}: "
+        f"{rate_off:.1f} jobs/s bare vs {rate_on:.1f} jobs/s observed"
+    )
+    lines = [
+        "observability overhead (1 worker, fresh computes, best of "
+        f"{repeats}x{jobs} jobs)",
+        f"  obs off: {rate_off:8.1f} jobs/s",
+        f"  obs on:  {rate_on:8.1f} jobs/s  (event log + drift monitor "
+        "+ 20Hz Prometheus exporter)",
+        f"  overhead: {overhead:.1%} (bound: < 5%)",
+    ]
+    record_result("observability_overhead", "\n".join(lines))
+    record_bench(
+        "serving_throughput",
+        {
+            "jobs_per_s_obs_off": round(rate_off, 2),
+            "jobs_per_s_obs_on": round(rate_on, 2),
+            "obs_overhead_fraction": round(overhead, 4),
         },
     )

@@ -16,7 +16,11 @@ Exercises the sharded serving tier end to end:
 * a fault drill: one shard is hard-killed, the health check marks it,
   and resubmitted work re-homes onto the survivor;
 * a drain, the per-tenant/per-shard metrics snapshot, and a JSON
-  metrics artifact (written when METRICS_OUT is set — CI uploads it).
+  metrics artifact (written when METRICS_OUT is set — CI uploads it);
+* observability artifacts: a fleet Prometheus snapshot (per-shard
+  registries merged under a ``shard`` label, PROM_OUT) and the
+  structured JSON-lines event log spanning the tier and every shard
+  process (EVENTS_OUT) — CI uploads both.
 
 Run:  python examples/serving_demo.py
 """
@@ -38,7 +42,11 @@ def main() -> None:
         "batchjobs": make_graph("soc-friendster", scale="tiny", seed=2),
     }
 
-    tier = ServingTier(shards=2, workers_per_shard=2)
+    tier = ServingTier(
+        shards=2,
+        workers_per_shard=2,
+        event_log_path=os.environ.get("EVENTS_OUT"),
+    )
     try:
         # ------------------------------------------------------------
         # 1. Three tenants over two shards
@@ -145,8 +153,20 @@ def main() -> None:
             with open(out, "w", encoding="utf-8") as fh:
                 json.dump(metrics, fh, indent=1)
             print(f"metrics written to {out}")
+        prom_out = os.environ.get("PROM_OUT")
+        if prom_out:
+            from repro.obs import write_prometheus
+
+            write_prometheus(prom_out, tier.registry_snapshot())
+            print(f"fleet Prometheus snapshot written to {prom_out}")
     finally:
         tier.shutdown()
+    events_out = os.environ.get("EVENTS_OUT")
+    if events_out:
+        from repro.obs import read_events
+
+        origins = sorted({e["origin"] for e in read_events(events_out)})
+        print(f"event log written to {events_out} (origins: {origins})")
     print("serving demo OK")
 
 

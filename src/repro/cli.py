@@ -32,10 +32,33 @@ SPMD correctness analysis (see ``docs/ANALYSIS.md``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
+
+
+def _start_exporters(
+    stack: contextlib.ExitStack,
+    args: argparse.Namespace,
+    collect: Callable[[], Any],
+) -> None:
+    """Wire ``--prometheus`` / ``--metrics-port`` onto a collect callback."""
+    if getattr(args, "prometheus", None):
+        from .obs import PeriodicExporter
+
+        stack.enter_context(
+            PeriodicExporter(collect, prometheus_path=args.prometheus)
+        )
+        print(f"metrics exported to {args.prometheus}")
+    if getattr(args, "metrics_port", None) is not None:
+        from .obs import MetricsServer
+
+        server = stack.enter_context(
+            MetricsServer(collect, port=args.metrics_port)
+        )
+        print(f"metrics served on http://127.0.0.1:{server.port}/metrics")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the time breakdown")
     det.add_argument("--chrome-trace",
                      help="write a Perfetto/chrome://tracing JSON timeline")
+    det.add_argument("--prometheus", metavar="FILE",
+                     help="write the run's modelled-time/traffic breakdown "
+                          "in Prometheus text exposition format")
     det.add_argument("--checkpoint-dir",
                      help="write resilience checkpoints under this directory")
     det.add_argument("--checkpoint-every", type=int, default=1,
@@ -146,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
     smt.add_argument("--tune-db", metavar="FILE",
                      help="tuning database: plan (config, ranks) from it "
                           "instead of the flags above (tune=\"auto\")")
+    smt.add_argument("--prometheus", metavar="FILE",
+                     help="write the engine's metrics in Prometheus text "
+                          "exposition format")
+    smt.add_argument("--event-log", metavar="FILE",
+                     help="append structured JSON-lines events "
+                          "(submission, run, cache, drift) to FILE")
 
     srv = sub.add_parser(
         "serve", help="drive a JSON job file through the service engine"
@@ -168,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent result cache directory")
     srv.add_argument("--metrics", metavar="FILE",
                      help="write the metrics snapshot as JSON")
+    srv.add_argument("--prometheus", metavar="FILE",
+                     help="write metrics in Prometheus text exposition "
+                          "format, refreshed periodically and on exit")
+    srv.add_argument("--metrics-port", type=int, metavar="PORT",
+                     help="serve /metrics (Prometheus) and /metrics.json "
+                          "on this port while jobs run (0 = ephemeral)")
+    srv.add_argument("--event-log", metavar="FILE",
+                     help="append structured JSON-lines events to FILE "
+                          "(shards share the file, tagged by origin)")
     srv.add_argument("--trace", action="store_true",
                      help="print the aggregate modelled-time breakdown "
                           "(in-process mode only)")
@@ -197,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shared tuning database file")
     tnt.add_argument("--metrics", metavar="FILE",
                      help="write the fleet metrics snapshot as JSON")
+    tnt.add_argument("--prometheus", metavar="FILE",
+                     help="write the fleet metrics (per-shard registries "
+                          "merged with a shard label, plus tier-level "
+                          "series) in Prometheus text exposition format")
+    tnt.add_argument("--event-log", metavar="FILE",
+                     help="append structured JSON-lines events to FILE "
+                          "(tier and shards share it, tagged by origin)")
+    tnt.add_argument("--drift", action="store_true",
+                     help="enable the measured-vs-predicted drift monitor "
+                          "in every shard engine")
     tnt.add_argument("--drain", choices=("complete", "cancel"),
                      default="complete",
                      help="on exit, run queued jobs to completion or "
@@ -412,6 +463,11 @@ def _cmd_detect(args) -> int:
             json.dump(spmd.trace.to_chrome_trace(), fh)
         print(f"timeline written to {args.chrome_trace} "
               "(open in Perfetto / chrome://tracing)")
+    if args.prometheus:
+        from .obs import trace_to_registry, write_prometheus
+
+        write_prometheus(args.prometheus, trace_to_registry(spmd.trace))
+        print(f"metrics written to {args.prometheus}")
     return 0
 
 
@@ -499,8 +555,24 @@ def _cmd_submit(args) -> int:
         from .tune import TuningDB
 
         tuning_db = TuningDB(args.tune_db)
-    with Engine(workers=1, store=store, tuning_db=tuning_db) as engine:
-        response = engine.detect(request, timeout=args.timeout)
+    event_log = None
+    if args.event_log:
+        from .obs import EventLog
+
+        event_log = EventLog(args.event_log, origin="cli-submit")
+    try:
+        with Engine(
+            workers=1, store=store, tuning_db=tuning_db, event_log=event_log
+        ) as engine:
+            response = engine.detect(request, timeout=args.timeout)
+            if args.prometheus:
+                from .obs import write_prometheus
+
+                write_prometheus(args.prometheus, engine.metrics.registry)
+                print(f"metrics written to {args.prometheus}")
+    finally:
+        if event_log is not None:
+            event_log.close()
     print(response.summary())
     result = response.result
     if result is None:
@@ -534,9 +606,20 @@ def _cmd_serve(args) -> int:
         else ResultStore()
     )
     failed = 0
-    with Engine(
-        workers=args.workers, queue_depth=args.queue_depth, store=store
+    event_log = None
+    if args.event_log:
+        from .obs import EventLog
+
+        event_log = EventLog(args.event_log, origin="cli-serve")
+    with contextlib.ExitStack() as stack, Engine(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        store=store,
+        event_log=event_log,
     ) as engine:
+        if event_log is not None:
+            stack.callback(event_log.close)
+        _start_exporters(stack, args, lambda: engine.metrics.registry.snapshot())
         job_ids = []
         for i, spec in enumerate(specs):
             try:
@@ -589,12 +672,27 @@ def _serve_sharded(args, specs) -> int:
                 workers=args.workers,
                 queue_depth=args.queue_depth,
                 cache_dir=args.cache_dir,
+                event_log_path=args.event_log,
             )
             for i in range(args.shards)
         ]
     )
+
+    def collect_fleet():
+        from .obs import merge_snapshots
+
+        snaps = {}
+        for s in router.live_shards():
+            try:
+                snaps[str(s.shard_id)] = s.registry_snapshot()
+            except ShardDeadError:
+                continue
+        return merge_snapshots(snaps, labelname="shard")
+
     failed = 0
+    stack = contextlib.ExitStack()
     try:
+        _start_exporters(stack, args, collect_fleet)
         submitted = []  # (shard, job_id)
         for i, spec in enumerate(specs):
             try:
@@ -637,6 +735,7 @@ def _serve_sharded(args, specs) -> int:
                 json.dump(snapshot, fh, indent=1)
             print(f"metrics written to {args.metrics}")
     finally:
+        stack.close()  # final exporter write while shards are still live
         router.shutdown()
     return 1 if failed else 0
 
@@ -666,10 +765,14 @@ def _cmd_tenant(args) -> int:
         queue_depth=args.queue_depth,
         cache_dir=args.cache_dir,
         tuning_db_path=args.tune_db,
+        event_log_path=args.event_log,
+        drift=args.drift,
     )
     failed = 0
     pending = []
+    stack = contextlib.ExitStack()
     try:
+        _start_exporters(stack, args, tier.registry_snapshot)
         for spec in workload["tenants"]:
             name = spec["name"]
             churn_kwargs = {}
@@ -769,6 +872,7 @@ def _cmd_tenant(args) -> int:
                 json.dump(tier.metrics(), fh, indent=1)
             print(f"metrics written to {args.metrics}")
     finally:
+        stack.close()  # final exporter write while shards are still live
         tier.shutdown()
     return 1 if failed else 0
 

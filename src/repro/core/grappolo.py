@@ -33,8 +33,91 @@ from .result import IterationStats, LouvainResult, PhaseStats, normalize_assignm
 from .sweep import propose_moves
 
 
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s+c)`` for each (start, count), counts > 0."""
+    total = int(counts.sum())
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        bounds = np.cumsum(counts[:-1])
+        out[bounds] = starts[1:] - (starts[:-1] + counts[:-1]) + 1
+    return np.cumsum(out)
+
+
 def greedy_coloring(g: CSRGraph) -> np.ndarray:
-    """Distance-1 greedy coloring (smallest available color, id order)."""
+    """Distance-1 greedy coloring (smallest available color, id order).
+
+    Vectorised wave schedule producing the exact sequential result: the
+    id-order greedy color of ``u`` depends only on its lower-id
+    neighbours, so each wave colors every vertex whose lower-id
+    neighbours are all colored and computes the per-vertex mex with
+    segment ops over the wave's edge list.  Two vertices in the same
+    wave are never adjacent, so within-wave order cannot matter.
+    Bit-identical to :func:`_greedy_coloring_loop`.
+    """
+    n = g.num_vertices
+    colors = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return colors
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.index))
+    lower = g.edges < rows
+    pred_rows = rows[lower]  # already sorted by row
+    pred_cols = g.edges[lower]
+    pred_index = np.searchsorted(pred_rows, np.arange(n + 1))
+    remaining = np.bincount(pred_rows, minlength=n)
+    # Reverse CSR: for each vertex, the higher-id vertices waiting on it.
+    order = np.argsort(pred_cols, kind="stable")
+    succ_targets = pred_rows[order]
+    succ_index = np.searchsorted(pred_cols[order], np.arange(n + 1))
+    ready = np.flatnonzero(remaining == 0)
+    while ready.size:
+        colors[ready] = _wave_mex(ready, pred_index, pred_cols, colors)
+        remaining[ready] = -1  # retire: never becomes ready again
+        starts = succ_index[ready]
+        counts = succ_index[ready + 1] - starts
+        nz = counts > 0
+        if np.any(nz):
+            waiting = succ_targets[_ranges(starts[nz], counts[nz])]
+            np.subtract.at(remaining, waiting, 1)
+        ready = np.flatnonzero(remaining == 0)
+    return colors
+
+
+def _wave_mex(
+    ready: np.ndarray,
+    pred_index: np.ndarray,
+    pred_cols: np.ndarray,
+    colors: np.ndarray,
+) -> np.ndarray:
+    """Smallest color unused by each ready vertex's lower-id neighbours."""
+    starts = pred_index[ready]
+    counts = pred_index[ready + 1] - starts
+    m = len(ready)
+    nz = counts > 0
+    if not np.any(nz):
+        return np.zeros(m, dtype=np.int64)
+    eids = _ranges(starts[nz], counts[nz])
+    group = np.repeat(np.flatnonzero(nz), counts[nz])
+    taken = colors[pred_cols[eids]]
+    # Unique (group, color) pairs, color-sorted within each group.
+    order = np.lexsort((taken, group))
+    gs, cs = group[order], taken[order]
+    keep = np.ones(len(gs), dtype=bool)
+    keep[1:] = (gs[1:] != gs[:-1]) | (cs[1:] != cs[:-1])
+    gs, cs = gs[keep], cs[keep]
+    # mex = first rank where the sorted unique colors skip a value.
+    grp_start = np.searchsorted(gs, np.arange(m))
+    rank = np.arange(len(gs), dtype=np.int64) - grp_start[gs]
+    mex = (np.searchsorted(gs, np.arange(1, m + 1)) - grp_start).astype(
+        np.int64
+    )
+    gap = cs != rank
+    np.minimum.at(mex, gs[gap], rank[gap])
+    return mex
+
+
+def _greedy_coloring_loop(g: CSRGraph) -> np.ndarray:
+    """Reference per-vertex scan (kept for equivalence tests and benches)."""
     n = g.num_vertices
     colors = np.full(n, -1, dtype=np.int64)
     for u in range(n):
@@ -52,17 +135,41 @@ def vertex_following_seed(g: CSRGraph) -> np.ndarray:
 
     Lu et al.'s vertex-following heuristic: a vertex with exactly one
     (non-loop) neighbour can never profitably sit in its own community,
-    so it starts in the neighbour's.  Chains collapse toward the
-    non-degree-1 end by id order (single pass, like the reference code).
+    so it starts in the neighbour's.  Vectorised over the CSR index with
+    the same single-pass id-order semantics as the reference loop: a
+    leaf adopts its neighbour's label, and a mutual leaf pair (isolated
+    edge) lands on the larger id — bit-identical to
+    :func:`_vertex_following_loop`.
     """
+    n = g.num_vertices
+    comm = np.arange(n, dtype=np.int64)
+    if n == 0 or g.nnz == 0:
+        return comm
+    deg = np.diff(g.index)
+    # First stored neighbour per row (clamped for trailing empty rows,
+    # whose leaf mask is False anyway).
+    nbr = g.edges[np.minimum(g.index[:-1], g.nnz - 1)]
+    # True leaf: exactly one neighbour and no self loop.  (A meta vertex
+    # with a self loop has internal structure; following it would
+    # wrongly dissolve a whole community.)
+    leaf = (deg == 1) & (nbr != np.arange(n, dtype=np.int64))
+    comm[leaf] = nbr[leaf]
+    # A leaf's neighbour is itself a leaf only on an isolated edge; the
+    # sequential pass lands both endpoints on the larger id.
+    ids = np.flatnonzero(leaf)
+    partner = nbr[ids]
+    mutual = leaf[partner] & (nbr[partner] == ids)
+    comm[ids[mutual]] = np.maximum(ids[mutual], partner[mutual])
+    return comm
+
+
+def _vertex_following_loop(g: CSRGraph) -> np.ndarray:
+    """Reference per-vertex scan (kept for equivalence tests and benches)."""
     n = g.num_vertices
     comm = np.arange(n, dtype=np.int64)
     for u in range(n):
         nbrs, _ = g.neighbors(u)
         if len(nbrs) == 1 and nbrs[0] != u:
-            # True leaf: exactly one neighbour and no self loop.  (A meta
-            # vertex with a self loop has internal structure; following
-            # it would wrongly dissolve a whole community.)
             comm[u] = comm[nbrs[0]]
     return comm
 

@@ -1,0 +1,137 @@
+"""Structured JSON-lines event log with cross-process correlation ids.
+
+One :class:`EventLog` appends single-line JSON records to a file; the
+engine, every shard process, and the SPMD executor can share one path
+(single-line ``O_APPEND`` writes interleave without tearing on POSIX),
+and records correlate through their id fields: ``job_id`` stitches a
+detection from admission (``job_submitted``) through its SPMD run
+(``spmd_run_started`` / ``spmd_phase``) and collectives summary
+(``spmd_trace``) to the cache write (``cache_write``); ``tenant`` and
+``shard`` extend the chain across the serving tier.
+
+The SPMD executor has no handle on the engine's log, so the engine
+installs it for the duration of a job via :func:`scoped` (a
+context-variable, so concurrent worker threads keep separate ids) and
+deep layers emit through :func:`emit_current`, which is a no-op when
+nothing is installed — observability off means zero behaviour change.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = ["EventLog", "emit_current", "read_events", "scoped"]
+
+#: Record format version, stamped on every line.
+EVENT_FORMAT_VERSION = 1
+
+
+class EventLog:
+    """Append-only JSON-lines event sink.
+
+    Each record carries ``v`` (format version), ``ts`` (wall-clock
+    seconds), ``origin`` (which component wrote it), ``pid``, and a
+    per-writer ``seq`` for total ordering within one writer; every
+    other field comes from the emit call.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, origin: str = "engine"):
+        self.path = os.fspath(path)
+        self.origin = origin
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event; ``fields`` must be JSON-serializable."""
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._seq += 1
+            record = {
+                "v": EVENT_FORMAT_VERSION,
+                "ts": time.time(),
+                "origin": self.origin,
+                "pid": os.getpid(),
+                "seq": self._seq,
+                "event": event,
+            }
+            record.update(fields)
+            self._fh.write(
+                json.dumps(record, separators=(",", ":"), sort_keys=True)
+                + "\n"
+            )
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(
+    path: str | os.PathLike, **match: Any
+) -> list[dict[str, Any]]:
+    """Parse an event-log file, oldest first.
+
+    Keyword filters keep only records whose field equals the given
+    value (``read_events(p, event="job_submitted", tenant="acme")``).
+    Records sort by wall-clock time with per-writer sequence as the
+    tie-break, so interleaved multi-process logs come back coherent.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if all(record.get(k) == v for k, v in match.items()):
+                records.append(record)
+    records.sort(key=lambda r: (r.get("ts", 0.0), r.get("seq", 0)))
+    return records
+
+
+# -- ambient sink for layers without an EventLog handle ----------------
+_current: contextvars.ContextVar[
+    tuple[EventLog, Mapping[str, Any]] | None
+] = contextvars.ContextVar("repro_obs_event_scope", default=None)
+
+
+@contextlib.contextmanager
+def scoped(log: EventLog | None, **ids: Any) -> Iterator[None]:
+    """Install ``log`` as the ambient sink for this context.
+
+    ``ids`` (job_id, tenant, ...) are stamped onto every
+    :func:`emit_current` record inside the scope.  ``log=None`` is a
+    no-op scope, so call sites never need to branch.
+    """
+    if log is None:
+        yield
+        return
+    token = _current.set((log, dict(ids)))
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+def emit_current(event: str, **fields: Any) -> None:
+    """Emit to the ambient sink, if any (cheap no-op otherwise)."""
+    scope = _current.get()
+    if scope is None:
+        return
+    log, ids = scope
+    log.emit(event, **{**ids, **fields})

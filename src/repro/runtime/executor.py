@@ -39,6 +39,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs.events import emit_current
 from .comm import Communicator, World
 from .errors import RankAborted, RankFailedError
 from .perfmodel import CORI_HASWELL, MachineModel
@@ -131,10 +132,20 @@ def run_spmd(
     values: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     lock = threading.Lock()
+    # Passive observability: when an event scope is installed (the
+    # engine wraps jobs in repro.obs.events.scoped), bracket the run
+    # with correlated records; a no-op otherwise.
+    emit_current(
+        "spmd_run_started",
+        size=size,
+        machine=machine.name,
+        restored=restore_from is not None,
+    )
 
     if size == 1:
         # Fast path: no threads needed, and failures propagate natively.
         values[0] = fn(comms[0], *args, **kwargs)
+        emit_current("spmd_run_finished", size=1, max_clock=comms[0].clock)
         return SPMDResult(
             values=values,
             clocks=[comms[0].clock],
@@ -171,8 +182,16 @@ def run_spmd(
         primary = {
             r: e for r, e in failures.items() if not isinstance(e, RankAborted)
         }
+        emit_current(
+            "spmd_run_failed", size=size, failed_ranks=sorted(failures)
+        )
         raise RankFailedError(primary or failures)
 
+    emit_current(
+        "spmd_run_finished",
+        size=size,
+        max_clock=max(c.clock for c in comms),
+    )
     return SPMDResult(
         values=values,
         clocks=[c.clock for c in comms],

@@ -238,6 +238,30 @@ class MachineModel:
             io_rate=self.io_rate / edge_factor,
         )
 
+    def calibrated(self, factor: float) -> "MachineModel":
+        """Uniformly rescale every modelled cost by ``factor``.
+
+        The drift monitor's calibration hook (ROADMAP item 3): when
+        measured job seconds run ``factor`` times the model's
+        predictions, scaling latencies and per-byte costs up — and
+        compute/IO rates down — by the same factor makes subsequent
+        predictions track measurements without refitting individual
+        constants.  ``factor > 1`` means the machine is slower than
+        modelled.  Calibration composes: the name keeps the base preset
+        with the most recent factor so tuning records stay attributable.
+        """
+        if factor <= 0 or not math.isfinite(factor):
+            raise ValueError(f"calibration factor must be > 0, got {factor}")
+        base = self.name.split("~", 1)[0]
+        return replace(
+            self,
+            name=f"{base}~cal{factor:.3g}",
+            alpha=self.alpha * factor,
+            beta=self.beta * factor,
+            compute_rate=self.compute_rate / factor,
+            io_rate=self.io_rate / factor,
+        )
+
 
 def _log2_stages(p: int) -> int:
     """Number of stages of a log2 algorithm over ``p`` ranks."""

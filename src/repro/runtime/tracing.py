@@ -137,19 +137,39 @@ class TraceReport:
         return dict(out)
 
     def to_chrome_trace(self, time_scale: float = 1e6) -> dict:
-        """Export recorded timelines as a Chrome-trace (about://tracing,
+        """Export recorded timelines as a Chrome-trace (chrome://tracing,
         Perfetto) JSON object.
 
         Each rank becomes a thread; each recorded interval a complete
-        ('X') event.  ``time_scale`` converts virtual seconds to the
-        microseconds the format expects.  Requires the run to have been
-        executed with event recording enabled
+        ('X') event.  Metadata ('M') events name the process and each
+        rank's thread so Perfetto labels the timelines instead of
+        showing bare ids.  ``time_scale`` converts virtual seconds to
+        the microseconds the format expects.  Requires the run to have
+        been executed with event recording enabled
         (``run_spmd(..., trace_events=True)``).
         """
         events = []
+        meta: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro SPMD world"},
+            }
+        ]
         for t in self.ranks:
             if not t.events:
                 continue
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": t.rank,
+                    "args": {"name": f"rank {t.rank}"},
+                }
+            )
             for ev in t.events:
                 events.append(
                     {
@@ -167,7 +187,7 @@ class TraceReport:
                 "no timeline events recorded; run with trace_events=True"
             )
         return {
-            "traceEvents": events,
+            "traceEvents": meta + events,
             "displayTimeUnit": "ms",
             "otherData": {"source": "repro simulated SPMD runtime"},
         }

@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from ..core.distlouvain import run_louvain
 from ..core.dynamic import warm_start_assignment
 from ..core.result import LouvainResult
+from ..obs.drift import DriftMonitor
+from ..obs.events import EventLog, scoped
 from ..runtime.errors import (
     CommTimeoutError,
     InjectedFault,
@@ -141,6 +143,8 @@ class Job:
     tuned: bool = False
     #: Fingerprint a tune job is planning for (in-flight dedup key).
     tune_fingerprint: str | None = None
+    #: Drift-triggered tune jobs re-search even when a record exists.
+    tune_force: bool = False
     result: LouvainResult | None = None
     error: str | None = None
     cache_hit: bool = False
@@ -211,6 +215,18 @@ class Engine:
         Search settings for background tune jobs
         (:class:`repro.tune.TunerSettings`); defaults to a small
         4-trial search so tuning never monopolises a worker.
+    event_log:
+        Structured event sink (:class:`repro.obs.EventLog`): job
+        lifecycle, cache writes, SPMD run/phase records, and drift
+        decisions all land there with correlated ids.  ``None`` (the
+        default) emits nothing — observability is strictly passive.
+    drift:
+        Measured-vs-predicted drift monitor
+        (:class:`repro.obs.DriftMonitor`): every fresh (non-cache-hit)
+        detection is folded into its per-config-family EWMA; crossing
+        the threshold fires a forced background re-tune (when a
+        ``tuning_db`` is present) against the monitor's calibrated
+        machine model.
     """
 
     def __init__(
@@ -225,6 +241,8 @@ class Engine:
         tuning_db: TuningDB | None = None,
         tune_on_miss: bool = False,
         tune_settings: TunerSettings | None = None,
+        event_log: EventLog | None = None,
+        drift: DriftMonitor | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -235,6 +253,9 @@ class Engine:
         self.tuning_db = tuning_db
         self.tune_on_miss = tune_on_miss
         self.tune_settings = tune_settings
+        self.event_log = event_log
+        self.drift = drift
+        self._features_cache: dict[str, object] = {}
         self._tuning_in_flight: set[str] = set()
         self.metrics = ServiceMetrics()
         self.scheduler = (
@@ -281,12 +302,28 @@ class Engine:
         job = Job(id=self._allocate_id(), request=request, tuned=tuned)
         job.submitted_at = time.monotonic()
         self.metrics.inc("submitted")
+        self._emit(
+            "job_submitted",
+            job_id=job.id,
+            kind=job.kind,
+            tenant=request.tenant,
+            mode=request.mode,
+            nranks=request.nranks,
+            priority=request.priority,
+            tuned=tuned,
+        )
 
         if self.store is not None and request.cacheable:
             job.cache_key = request.cache_key()
             cached = self.store.get(job.cache_key)
             if cached is not None:
                 self.metrics.inc("cache_hits")
+                self._emit(
+                    "cache_hit",
+                    job_id=job.id,
+                    tenant=request.tenant,
+                    cache_key=job.cache_key,
+                )
                 job.cache_hit = True
                 job.started_at = job.submitted_at
                 with self._lock:
@@ -310,6 +347,12 @@ class Engine:
                 del self._jobs[job.id]
             self.metrics.inc("rejected")
             self.metrics.inc(f"rejected_{exc.reason}")
+            self._emit(
+                "job_rejected",
+                job_id=job.id,
+                tenant=request.tenant,
+                reason=exc.reason,
+            )
             raise
         self.metrics.set_gauge("queue_depth", self.scheduler.depth())
         return job.id
@@ -507,6 +550,20 @@ class Engine:
                         "last_ghost_fraction",
                         float(sum(measured) / len(measured)),
                     )
+                self._emit_run_events(job, result)
+                if self.drift is not None and job.kind == "detect":
+                    self._observe_drift(job, result)
+        self._emit(
+            "job_finished",
+            job_id=job.id,
+            kind=job.kind,
+            tenant=job.request.tenant,
+            state=state.value,
+            cache_hit=job.cache_hit,
+            retries=job.retries,
+            error=error,
+            elapsed=result.elapsed if result is not None else None,
+        )
         job.done.set()
 
     def _worker_loop(self) -> None:
@@ -525,11 +582,127 @@ class Engine:
             self.metrics.observe_queue_latency(
                 job.started_at - job.submitted_at
             )
+            self._emit(
+                "job_started",
+                job_id=job.id,
+                kind=job.kind,
+                tenant=job.request.tenant,
+                queue_seconds=job.started_at - job.submitted_at,
+            )
             self.metrics.adjust_gauge("running", +1)
             try:
                 self._run_job(job)
             finally:
                 self.metrics.adjust_gauge("running", -1)
+
+    # ------------------------------------------------------------------
+    # Observability (see repro.obs) — all strictly passive
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields: object) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(event, **fields)
+
+    def _emit_run_events(self, job: Job, result: LouvainResult) -> None:
+        """Per-phase and collective records for one fresh run, derived
+        from the result after the fact (the SPMD world is untouched)."""
+        if self.event_log is None:
+            return
+        for p in result.phases:
+            self._emit(
+                "spmd_phase",
+                job_id=job.id,
+                tenant=job.request.tenant,
+                phase=p.phase,
+                iterations=p.num_iterations,
+                modularity=p.modularity,
+                num_vertices=p.num_vertices,
+                num_edges=p.num_edges,
+            )
+        if result.trace is not None:
+            self._emit(
+                "spmd_trace",
+                job_id=job.id,
+                tenant=job.request.tenant,
+                seconds_by_category=result.trace.seconds_by_category(),
+                collectives=result.trace.collective_counts(),
+                messages=result.trace.total_messages,
+                bytes=result.trace.total_bytes,
+            )
+
+    def _observe_drift(self, job: Job, result: LouvainResult) -> None:
+        """Close the tuning loop: measured seconds vs the cost model.
+
+        Folds the job into the drift monitor's config-family EWMA,
+        writes serving feedback onto the graph's tuning record, and —
+        when the family crosses the drift threshold — fires a forced
+        background re-tune against the calibrated machine model.
+        Failures here must never fail the job: this path is passive.
+        """
+        assert self.drift is not None
+        request = job.request
+        try:
+            from ..tune.costmodel import predict_cost
+            from ..tune.features import compute_features
+            from ..tune.space import Candidate
+
+            g = request.resolved_graph()
+            fingerprint = g.fingerprint()
+            with self._lock:
+                features = self._features_cache.get(fingerprint)
+            if features is None:
+                features = compute_features(g)
+                with self._lock:
+                    self._features_cache[fingerprint] = features
+            machine = self.drift.machine or request.machine
+            predicted = predict_cost(
+                features,  # type: ignore[arg-type]
+                Candidate(config=request.config, ranks=request.nranks),
+                machine,
+            ).seconds
+            family = DriftMonitor.family_key(
+                request.machine.name, request.config.label(), request.nranks
+            )
+            decision = self.drift.observe(family, predicted, result.elapsed)
+            self.metrics.inc("drift_observations")
+            self._emit(
+                "drift_observed",
+                job_id=job.id,
+                tenant=request.tenant,
+                family=family,
+                predicted=predicted,
+                measured=result.elapsed,
+                ratio=decision.ratio,
+                retune=decision.retune,
+            )
+            if self.tuning_db is not None:
+                record = self.tuning_db.get(fingerprint)
+                if record is not None:
+                    self.tuning_db.put(
+                        dataclasses.replace(
+                            record,
+                            served_jobs=record.served_jobs + 1,
+                            served_seconds_total=(
+                                record.served_seconds_total + result.elapsed
+                            ),
+                            drift_ratio=decision.ratio,
+                        )
+                    )
+            if decision.retune:
+                self.metrics.inc("drift_retunes")
+                calibrated = self.drift.machine
+                self._emit(
+                    "drift_retune",
+                    job_id=job.id,
+                    tenant=request.tenant,
+                    family=family,
+                    calibration=decision.calibration,
+                    machine=calibrated.name if calibrated else machine.name,
+                )
+                if self.tuning_db is not None:
+                    self._spawn_tune_job(request, fingerprint, force=True)
+        except Exception as exc:
+            self.metrics.inc("drift_errors")
+            self._emit("drift_error", job_id=job.id, error=repr(exc))
 
     # ------------------------------------------------------------------
     # Autotuning (see repro.tune)
@@ -574,9 +747,13 @@ class Engine:
         return request, False
 
     def _spawn_tune_job(
-        self, request: DetectionRequest, fingerprint: str
+        self, request: DetectionRequest, fingerprint: str, force: bool = False
     ) -> None:
-        """Queue one background tune job per not-yet-tuned fingerprint."""
+        """Queue one background tune job per not-yet-tuned fingerprint.
+
+        ``force=True`` (the drift-retune path) re-searches even though a
+        record exists, using the drift monitor's calibrated machine.
+        """
         with self._lock:
             if fingerprint in self._tuning_in_flight:
                 return
@@ -586,6 +763,7 @@ class Engine:
             request=request,
             kind="tune",
             tune_fingerprint=fingerprint,
+            tune_force=force,
         )
         job.submitted_at = time.monotonic()
         with self._lock:
@@ -603,6 +781,13 @@ class Engine:
             self.metrics.inc("tune_jobs_shed")
             return
         self.metrics.inc("tune_jobs")
+        self._emit(
+            "tune_spawned",
+            job_id=job.id,
+            tenant=request.tenant,
+            fingerprint=fingerprint,
+            forced=force,
+        )
 
     def _run_tune_job(self, job: Job) -> None:
         from ..tune.search import tune_graph
@@ -612,10 +797,19 @@ class Engine:
             settings = self.tune_settings or TunerSettings(
                 trials=4, rung_phase_caps=(1,)
             )
+            if job.tune_force and self.drift is not None:
+                # Drift-triggered: search against the calibrated model so
+                # the new plan's predictions match observed reality.
+                calibrated = self.drift.machine
+                if calibrated is not None:
+                    settings = dataclasses.replace(
+                        settings, machine=calibrated
+                    )
             record, cached = tune_graph(
                 job.request.resolved_graph(),
                 self.tuning_db,
                 settings=settings,
+                force=job.tune_force,
             )
             if not cached:
                 self.metrics.inc("background_tunes")
@@ -644,16 +838,21 @@ class Engine:
         resume = request.mode == "resume"
         while True:
             try:
-                result = execute_request(
-                    request,
-                    checkpoint_dir=job.checkpoint_dir,
-                    checkpoint_every_iterations=(
-                        request.checkpoint_every_iterations
-                        or self.checkpoint_every_iterations
-                    ),
-                    resume=resume,
-                    fault_plan=fault_plan,
-                )
+                with scoped(
+                    self.event_log,
+                    job_id=job.id,
+                    tenant=request.tenant,
+                ):
+                    result = execute_request(
+                        request,
+                        checkpoint_dir=job.checkpoint_dir,
+                        checkpoint_every_iterations=(
+                            request.checkpoint_every_iterations
+                            or self.checkpoint_every_iterations
+                        ),
+                        resume=resume,
+                        fault_plan=fault_plan,
+                    )
             except RETRYABLE as exc:
                 job.retries += 1
                 if job.retries > request.max_retries:
@@ -672,6 +871,13 @@ class Engine:
                     )
                     return
                 self.metrics.inc("retries")
+                self._emit(
+                    "job_retry",
+                    job_id=job.id,
+                    tenant=request.tenant,
+                    attempt=job.retries,
+                    error=repr(exc),
+                )
                 # An injected fault fired; the retry models the post-crash
                 # world where the failure condition is gone.
                 fault_plan = None
@@ -696,6 +902,12 @@ class Engine:
             and job.cache_key is not None
         ):
             self.store.put(job.cache_key, result)
+            self._emit(
+                "cache_write",
+                job_id=job.id,
+                tenant=request.tenant,
+                cache_key=job.cache_key,
+            )
         self._finish(job, JobState.DONE, result=result)
 
     def _can_resume(self, job: Job) -> bool:

@@ -12,157 +12,148 @@ in (:meth:`ServiceMetrics.observe_trace`), extending the paper's §V-A
 breakdown across the whole served workload: the snapshot carries the
 aggregate modelled seconds per category (compute, ghost_comm, …,
 checkpoint) summed over every completed job.
+
+Since the ``repro.obs`` port, the backing store is a
+:class:`~repro.obs.registry.MetricsRegistry` (exposed as
+:attr:`ServiceMetrics.registry`) so the same numbers are available as
+labeled Prometheus families; the legacy surface — ``counters`` /
+``gauges`` attributes, the ``queue_latency`` / ``run_latency``
+histograms, and every :meth:`snapshot` key — is unchanged.
 """
 
 from __future__ import annotations
 
-import bisect
-import threading
 from collections import Counter
 
+from ..obs.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
 from ..runtime.tracing import TraceReport
 
-#: Default latency bucket upper bounds, seconds (log-ish spacing wide
-#: enough for both sub-second simulated jobs and multi-minute real ones).
-DEFAULT_BUCKETS = (
-    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
-    30.0, 60.0, 300.0,
-)
+__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram", "ServiceMetrics"]
 
-
-class LatencyHistogram:
-    """Fixed-bucket histogram of seconds (cumulative, Prometheus-style)."""
-
-    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
-        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
-            raise ValueError("buckets must be strictly increasing")
-        self.bounds = tuple(float(b) for b in buckets)
-        self.counts = [0] * (len(self.bounds) + 1)  # last = +inf overflow
-        self.total = 0.0
-        self.count = 0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"negative latency {seconds}")
-        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
-        self.total += seconds
-        self.count += 1
-        self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the bucket holding it."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for bound, n in zip(self.bounds, self.counts):
-            seen += n
-            if seen >= rank:
-                return bound
-        return self.max
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "max": self.max,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-            "buckets": {
-                str(b): c for b, c in zip(self.bounds, self.counts)
-            }
-            | {"+inf": self.counts[-1]},
-        }
+#: Historical name: the engine's histogram type now lives in
+#: :mod:`repro.obs.registry`; the API and snapshot format are identical.
+LatencyHistogram = Histogram
 
 
 class ServiceMetrics:
     """Thread-safe metric registry for one :class:`~repro.service.Engine`."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.counters: Counter[str] = Counter()
-        self.gauges: dict[str, int | float] = {
-            "queue_depth": 0,
-            "running": 0,
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._events = self.registry.counter(
+            "repro_service_events_total",
+            "Engine lifecycle events (submitted, completed, cache_hits, ...).",
+            labelnames=("event",),
+        )
+        self._gauges = self.registry.gauge(
+            "repro_service_gauge",
+            "Engine live gauges (queue_depth, running, ...).",
+            labelnames=("name",),
+        )
+        latency = self.registry.histogram(
+            "repro_service_latency_seconds",
+            "Job latency by stage: queue (submit->start), run (start->done).",
+            labelnames=("stage",),
+            buckets=DEFAULT_BUCKETS,
+        )
+        self.queue_latency = latency.labels(stage="queue")
+        self.run_latency = latency.labels(stage="run")
+        self._trace_seconds = self.registry.counter(
+            "repro_trace_seconds_total",
+            "Modelled virtual seconds by category over every completed job.",
+            labelnames=("category",),
+        )
+        self._trace_collectives = self.registry.counter(
+            "repro_trace_collectives_total",
+            "Collective invocations by op over every completed job.",
+            labelnames=("op",),
+        )
+        self._modelled = self.registry.counter(
+            "repro_modelled_seconds_total",
+            "Total modelled seconds over every completed job.",
+        )
+        # The two load gauges exist (at zero) before anything happens.
+        self._gauges.labels(name="queue_depth").set(0)
+        self._gauges.labels(name="running").set(0)
+
+    # -- legacy read surface --------------------------------------------
+    @property
+    def counters(self) -> Counter[str]:
+        """Event counters as the historical :class:`collections.Counter`."""
+        return Counter(
+            {
+                labels["event"]: int(child.value)
+                for labels, child in self._events.samples()
+            }
+        )
+
+    @property
+    def gauges(self) -> dict[str, int | float]:
+        return {
+            labels["name"]: _as_number(child.value)
+            for labels, child in self._gauges.samples()
         }
-        self.queue_latency = LatencyHistogram()
-        self.run_latency = LatencyHistogram()
-        self._trace_seconds: Counter[str] = Counter()
-        self._trace_collectives: Counter[str] = Counter()
-        self._modelled_seconds = 0.0
 
     # -- counters / gauges ----------------------------------------------
     def inc(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            self.counters[name] += by
+        self._events.labels(event=name).inc(by)
 
     def set_gauge(self, name: str, value: int | float) -> None:
-        with self._lock:
-            self.gauges[name] = value
+        self._gauges.labels(name=name).set(value)
 
     def adjust_gauge(self, name: str, by: int) -> None:
-        with self._lock:
-            self.gauges[name] = self.gauges.get(name, 0) + by
+        self._gauges.labels(name=name).adjust(by)
 
     # -- latencies ------------------------------------------------------
     def observe_queue_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.queue_latency.observe(seconds)
+        self.queue_latency.observe(seconds)
 
     def observe_run_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.run_latency.observe(seconds)
+        self.run_latency.observe(seconds)
 
     # -- trace merge ----------------------------------------------------
     def observe_trace(self, trace: TraceReport | None, elapsed: float) -> None:
         """Fold one completed job's trace into the workload aggregate."""
-        with self._lock:
-            self._modelled_seconds += elapsed
-            if trace is None:
-                return
-            self._trace_seconds.update(trace.seconds_by_category())
-            self._trace_collectives.update(trace.collective_counts())
+        self._modelled.inc(elapsed)
+        if trace is None:
+            return
+        for category, seconds in trace.seconds_by_category().items():
+            self._trace_seconds.labels(category=category).inc(seconds)
+        for op, count in trace.collective_counts().items():
+            self._trace_collectives.labels(op=op).inc(count)
 
     # -- export ---------------------------------------------------------
     def cache_hit_rate(self) -> float:
-        with self._lock:
-            hits = self.counters["cache_hits"]
-            misses = self.counters["cache_misses"]
-        looked = hits + misses
-        return hits / looked if looked else 0.0
+        counters = self.counters
+        looked = counters["cache_hits"] + counters["cache_misses"]
+        return counters["cache_hits"] / looked if looked else 0.0
 
     def snapshot(self) -> dict:
         """One consistent JSON-able view of everything."""
-        with self._lock:
-            return {
-                "counters": dict(self.counters),
-                "gauges": dict(self.gauges),
-                "cache_hit_rate": (
-                    self.counters["cache_hits"]
-                    / max(
-                        self.counters["cache_hits"]
-                        + self.counters["cache_misses"],
-                        1,
-                    )
-                ),
-                "latency": {
-                    "queue_seconds": self.queue_latency.snapshot(),
-                    "run_seconds": self.run_latency.snapshot(),
+        counters = self.counters
+        return {
+            "counters": dict(counters),
+            "gauges": self.gauges,
+            "cache_hit_rate": (
+                counters["cache_hits"]
+                / max(counters["cache_hits"] + counters["cache_misses"], 1)
+            ),
+            "latency": {
+                "queue_seconds": self.queue_latency.snapshot(),
+                "run_seconds": self.run_latency.snapshot(),
+            },
+            "modelled": {
+                "total_seconds": self._modelled.value,
+                "seconds_by_category": {
+                    labels["category"]: child.value
+                    for labels, child in self._trace_seconds.samples()
                 },
-                "modelled": {
-                    "total_seconds": self._modelled_seconds,
-                    "seconds_by_category": dict(self._trace_seconds),
-                    "collective_counts": dict(self._trace_collectives),
+                "collective_counts": {
+                    labels["op"]: int(child.value)
+                    for labels, child in self._trace_collectives.samples()
                 },
-            }
+            },
+        }
 
     def format(self) -> str:
         """Human-readable one-screen summary."""
@@ -190,3 +181,8 @@ class ServiceMetrics:
             for cat, sec in sorted(cats.items(), key=lambda kv: -kv[1]):
                 lines.append(f"    {cat:<16} {sec:>12.6f}s  {sec/total:6.1%}")
         return "\n".join(lines)
+
+
+def _as_number(value: float) -> int | float:
+    """Integral floats render as the ints the pre-registry dicts held."""
+    return int(value) if float(value).is_integer() else value

@@ -33,6 +33,9 @@ import time
 from dataclasses import dataclass
 
 from ..core.config import LouvainConfig
+from ..obs.events import EventLog
+from ..obs.export import merge_snapshots
+from ..obs.registry import MetricsRegistry
 from ..runtime.tracing import RankTrace
 from ..service.request import DetectionRequest, DetectionResponse
 from .router import NoLiveShards, ShardRouter
@@ -78,6 +81,15 @@ class ServingTier:
         scheduler.
     default_max_queued:
         Per-tenant queue quota for tenants with no explicit quota.
+    event_log_path:
+        Shared JSON-lines event log: the tier appends with
+        ``origin="serving"`` and every shard process appends with
+        ``origin="shard-<id>"``, so one file traces a detection from
+        tenant churn through shard admission to the cache write.
+        ``None`` (the default) disables events everywhere.
+    drift:
+        Enable the measured-vs-predicted drift monitor on every shard
+        engine (see :class:`repro.obs.DriftMonitor`).
     """
 
     def __init__(
@@ -91,10 +103,17 @@ class ServingTier:
         quantum: float = 1.0,
         default_max_queued: int | None = None,
         start_method: str = "spawn",
+        event_log_path: str | None = None,
+        drift: bool = False,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.registry = TenantRegistry()
+        self.event_log = (
+            EventLog(event_log_path, origin="serving")
+            if event_log_path is not None
+            else None
+        )
         self.router = ShardRouter(
             [
                 ShardConfig(
@@ -105,6 +124,8 @@ class ServingTier:
                     tuning_db_path=tuning_db_path,
                     quantum=quantum,
                     default_max_queued=default_max_queued,
+                    event_log_path=event_log_path,
+                    drift=drift,
                 )
                 for i in range(shards)
             ],
@@ -133,7 +154,14 @@ class ServingTier:
             name, quota=quota, config=config, nranks=nranks, churn=churn
         )
         self.router.broadcast_tenant(name, tenant.quota.max_queued)
+        self._emit(
+            "tenant_created", tenant=name, max_queued=tenant.quota.max_queued
+        )
         return tenant
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(event, **fields)
 
     def load_graph(self, name: str, graph) -> None:
         tenant = self.registry.get(name)
@@ -203,6 +231,13 @@ class ServingTier:
             priority=priority, reset_touched=touched, incremental=warm
         )
         self.trace.charge("serving", time.monotonic() - t0)
+        self._emit(
+            "churn_window_closed",
+            tenant=tenant.name,
+            net_churn=net,
+            warm_start=warm,
+            touched=len(touched) if touched is not None else 0,
+        )
         return self._submit(tenant, request, kind="churn", net_churn=net)
 
     def _feed_churn_features(
@@ -306,11 +341,24 @@ class ServingTier:
             except ShardDeadError:
                 # Mark the corpse fleet-wide, then retry on survivors.
                 tenant.counters["shard_failovers"] += 1
+                self._emit(
+                    "shard_failover",
+                    tenant=tenant.name,
+                    shard=shard.shard_id,
+                )
                 self.router.health_check()
                 if attempt == 0:
                     continue
                 raise
             tenant.counters["jobs_submitted"] += 1
+            self._emit(
+                "tier_submit",
+                tenant=tenant.name,
+                shard=shard.shard_id,
+                job_id=job_id,
+                kind=kind,
+                net_churn=net_churn,
+            )
             return JobHandle(
                 tenant=tenant.name,
                 job_id=job_id,
@@ -362,6 +410,7 @@ class ServingTier:
         """Fault drill: hard-kill one shard (its queued jobs are lost;
         routing re-homes its keys on the next health check/submission)."""
         self.router.shards[shard_id].kill()
+        self._emit("shard_killed", shard=shard_id)
 
     def metrics(self) -> dict:
         """JSON-able fleet snapshot: per-shard engine metrics and cache
@@ -398,6 +447,59 @@ class ServingTier:
             "serving_seconds": float(self.trace.seconds.get("serving", 0.0)),
         }
 
+    def registry_snapshot(self) -> dict:
+        """Fleet-wide metrics-registry snapshot (Prometheus input).
+
+        Every live shard's registry merges in with a ``shard`` label;
+        tier-side state (serving seconds, per-tenant counters, pending
+        churn) is rendered as its own families.  The result feeds
+        :func:`repro.obs.export.to_prometheus` directly.
+        """
+        per_shard: dict[str, dict] = {}
+        for sid, shard in sorted(self.router.shards.items()):
+            if not shard.alive:
+                continue
+            try:
+                per_shard[str(sid)] = shard.registry_snapshot()
+            except ShardDeadError:
+                continue
+        tier = MetricsRegistry()
+        tier.counter(
+            "repro_serving_seconds_total",
+            "Tier-side wall seconds of routing and churn application.",
+        ).inc(float(self.trace.seconds.get("serving", 0.0)))
+        tenant_events = tier.counter(
+            "repro_tenant_events_total",
+            "Per-tenant serving counters (submissions, churn, failovers).",
+            labelnames=("tenant", "event"),
+        )
+        pending = tier.gauge(
+            "repro_tenant_pending_churn",
+            "Net churn currently buffered in each tenant's window.",
+            labelnames=("tenant",),
+        )
+        modularity = tier.gauge(
+            "repro_tenant_modularity",
+            "Modularity of each tenant's last absorbed solution.",
+            labelnames=("tenant",),
+        )
+        for tenant in self.registry:
+            with tenant.lock:
+                for event, count in sorted(tenant.counters.items()):
+                    tenant_events.labels(
+                        tenant=tenant.name, event=event
+                    ).inc(count)
+                pending.labels(tenant=tenant.name).set(
+                    tenant.accumulator.net_size
+                )
+                if tenant.modularity is not None:
+                    modularity.labels(tenant=tenant.name).set(
+                        tenant.modularity
+                    )
+        merged = merge_snapshots(per_shard, labelname="shard")
+        combined = merged["metrics"] + tier.snapshot()["metrics"]
+        return {"metrics": sorted(combined, key=lambda m: m["name"])}
+
     def drain(
         self, *, cancel_pending: bool = False
     ) -> dict[int, list[tuple[str, str]]]:
@@ -409,6 +511,8 @@ class ServingTier:
             return
         self._closed = True
         self.router.shutdown(cancel_pending=cancel_pending)
+        if self.event_log is not None:
+            self.event_log.close()
 
     def __enter__(self) -> "ServingTier":
         return self

@@ -22,6 +22,7 @@ Protocol (parent -> child ``(cmd, payload)``, child -> parent
 ``fetch``           full :class:`DetectionResponse` for a job id
 ``cancel``          cancel a job -> bool
 ``metrics``         engine metrics snapshot (JSON-able dict)
+``registry``        engine metrics-registry snapshot (Prometheus input)
 ``store_stats``     result-store stats (or None)
 ``drain``           stop admitting, settle queued jobs -> job summary
 ``shutdown``        drain + exit the process
@@ -83,6 +84,15 @@ class ShardConfig:
     #: Quota for tenants never registered explicitly.
     default_max_queued: int | None = None
     checkpoint_every_iterations: int = 4
+    #: Shared JSON-lines event log (``None`` = no events).  Shards
+    #: append with ``origin="shard-<id>"``; single-line appends from
+    #: multiple processes interleave without tearing, so one file can
+    #: carry the whole fleet's correlated records.
+    event_log_path: str | None = None
+    #: Enable the measured-vs-predicted drift monitor on this shard's
+    #: engine (fires forced background re-tunes through the shared
+    #: tuning DB when a config family drifts).
+    drift: bool = False
 
 
 def _build_engine(config: ShardConfig) -> Engine:
@@ -101,12 +111,26 @@ def _build_engine(config: ShardConfig) -> Engine:
         quantum=config.quantum,
         default_max_queued=config.default_max_queued,
     )
+    event_log = None
+    if config.event_log_path is not None:
+        from ..obs.events import EventLog
+
+        event_log = EventLog(
+            config.event_log_path, origin=f"shard-{config.shard_id}"
+        )
+    drift = None
+    if config.drift:
+        from ..obs.drift import DriftMonitor
+
+        drift = DriftMonitor()
     return Engine(
         workers=config.workers,
         scheduler=scheduler,
         store=store,
         tuning_db=tuning_db,
         checkpoint_every_iterations=config.checkpoint_every_iterations,
+        event_log=event_log,
+        drift=drift,
     )
 
 
@@ -143,6 +167,8 @@ def _shard_main(conn: Any, config: ShardConfig) -> None:
                     conn.send(("ok", engine.cancel(payload)))
                 elif cmd == "metrics":
                     conn.send(("ok", engine.metrics.snapshot()))
+                elif cmd == "registry":
+                    conn.send(("ok", engine.metrics.registry.snapshot()))
                 elif cmd == "store_stats":
                     conn.send(
                         (
@@ -181,6 +207,8 @@ def _shard_main(conn: Any, config: ShardConfig) -> None:
     finally:
         if not drained:
             engine.shutdown(wait=False, cancel_pending=True)
+        if engine.event_log is not None:
+            engine.event_log.close()
         try:
             conn.close()
         except OSError:
@@ -318,6 +346,12 @@ class ShardProcess:
 
     def metrics(self) -> dict:
         value = self.call("metrics")
+        assert isinstance(value, dict)
+        return value
+
+    def registry_snapshot(self) -> dict:
+        """Metrics-registry snapshot (input for the Prometheus exporter)."""
+        value = self.call("registry")
         assert isinstance(value, dict)
         return value
 

@@ -84,6 +84,14 @@ class TuningRecord:
     #: Where the plan came from ("search"; responses served via the
     #: nearest-neighbour path tag the donor fingerprint).
     source: str = "search"
+    #: Serving feedback (the obs drift loop, ROADMAP item 3): jobs the
+    #: engine served with this plan, their total measured (modelled)
+    #: seconds, and the drift monitor's latest smoothed
+    #: measured/predicted ratio.  All written back by the engine after
+    #: each served job; absent in pre-drift records.
+    served_jobs: int = 0
+    served_seconds_total: float = 0.0
+    drift_ratio: float = 1.0
 
     @property
     def speedup(self) -> float:
@@ -114,6 +122,9 @@ class TuningRecord:
             "created": self.created,
             "last_used": self.last_used,
             "source": self.source,
+            "served_jobs": self.served_jobs,
+            "served_seconds_total": self.served_seconds_total,
+            "drift_ratio": self.drift_ratio,
         }
 
     @classmethod
@@ -140,6 +151,9 @@ class TuningRecord:
             created=float(data.get("created", 0.0)),
             last_used=float(data.get("last_used", 0.0)),
             source=str(data.get("source", "search")),
+            served_jobs=int(data.get("served_jobs", 0)),
+            served_seconds_total=float(data.get("served_seconds_total", 0.0)),
+            drift_ratio=float(data.get("drift_ratio", 1.0)),
         )
 
     def summary(self) -> str:

@@ -80,3 +80,13 @@ def test_autotune_demo():
     assert "database hit" in proc.stdout
     assert "nearest tuned neighbour" in proc.stdout
     assert "autotune demo ok" in proc.stdout
+
+
+@pytest.mark.slow
+def test_observability_demo():
+    proc = run_example("observability_demo.py", timeout=420.0)
+    assert proc.returncode == 0, proc.stderr
+    assert "drift crossed" in proc.stdout
+    assert "forced background re-tune ran" in proc.stdout
+    assert "bit-identical with obs on/off" in proc.stdout
+    assert "observability demo OK" in proc.stdout

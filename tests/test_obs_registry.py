@@ -1,0 +1,178 @@
+"""Unit tests for the labeled metrics registry (repro.obs.registry)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total", "x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events_total", "events", labelnames=("kind",))
+        fam.labels(kind="a").inc()
+        fam.labels(kind="b").inc(3)
+        fam.labels(kind="a").inc()
+        by_kind = {ls["kind"]: ch.value for ls, ch in fam.samples()}
+        assert by_kind == {"a": 2.0, "b": 3.0}
+
+    def test_wrong_labelset_rejected(self):
+        fam = MetricsRegistry().counter("t_total", "t", labelnames=("a",))
+        with pytest.raises(ValueError):
+            fam.labels(b=1)
+        with pytest.raises(ValueError):
+            fam.labels()
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        g = MetricsRegistry().gauge("depth", "queue depth")
+        g.set(5)
+        g.adjust(-2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_snapshot_keys_match_legacy_latency_histogram(self):
+        # The serving tier pickles these snapshots across the shard RPC;
+        # the key set is load-bearing.
+        h = Histogram()
+        h.observe(0.02)
+        h.observe(0.3)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "sum", "mean", "max", "p50", "p99", "buckets"
+        }
+        assert snap["count"] == 2
+        assert "+inf" in snap["buckets"]
+
+    def test_quantiles_monotone(self):
+        h = Histogram()
+        for v in [0.001, 0.01, 0.1, 1.0, 10.0]:
+            h.observe(v)
+        assert h.quantile(0.5) <= h.quantile(0.99)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-0.1)
+
+    def test_custom_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.5)
+        h.observe(5.0)
+        # Legacy per-bin counts: the "+inf" bin holds the overflow only.
+        assert h.snapshot()["buckets"] == {"1.0": 0, "2.0": 1, "+inf": 1}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("n_total", "n")
+        b = reg.counter("n_total", "n")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", "n")
+        with pytest.raises(ValueError):
+            reg.gauge("n_total", "n")
+
+    def test_labelnames_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", "n", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("n_total", "n", labelnames=("b",))
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name", "x")
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x_total", "x", labelnames=("0bad",))
+
+    def test_snapshot_is_picklable_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("zz", "z").set(1)
+        reg.counter("aa_total", "a").inc()
+        reg.histogram("lat_seconds", "l", buckets=(0.1,)).observe(0.05)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+
+    def test_default_buckets_cover_subsecond_to_minutes(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 300.0
+
+
+class TestServiceMetricsBackCompat:
+    """ServiceMetrics moved onto the registry; its JSON must not change."""
+
+    def _metrics(self):
+        from repro.service.metrics import ServiceMetrics
+
+        m = ServiceMetrics()
+        m.inc("submitted")
+        m.inc("completed")
+        m.inc("cache_hits", 2)
+        m.set_gauge("queue_depth", 3)
+        m.observe_queue_latency(0.01)
+        m.observe_run_latency(0.5)
+        return m
+
+    def test_snapshot_top_level_keys(self):
+        snap = self._metrics().snapshot()
+        assert set(snap) == {
+            "counters", "gauges", "cache_hit_rate", "latency", "modelled"
+        }
+        assert set(snap["latency"]) == {"queue_seconds", "run_seconds"}
+        assert set(snap["modelled"]) == {
+            "total_seconds", "seconds_by_category", "collective_counts"
+        }
+
+    def test_counters_are_plain_ints(self):
+        snap = self._metrics().snapshot()
+        assert snap["counters"]["cache_hits"] == 2
+        assert all(
+            isinstance(v, int) for v in snap["counters"].values()
+        )
+
+    def test_gauges_preserved(self):
+        snap = self._metrics().snapshot()
+        assert snap["gauges"]["queue_depth"] == 3
+        assert snap["gauges"]["running"] == 0
+
+    def test_latency_histogram_format_unchanged(self):
+        snap = self._metrics().snapshot()
+        qs = snap["latency"]["queue_seconds"]
+        assert set(qs) == {
+            "count", "sum", "mean", "max", "p50", "p99", "buckets"
+        }
+
+    def test_format_renders(self):
+        text = self._metrics().format()
+        assert "service metrics:" in text
+        assert "cache_hit_rate" in text
+
+    def test_registry_exposes_service_families(self):
+        m = self._metrics()
+        names = {f.name for f in m.registry.families()}
+        assert "repro_service_events_total" in names
+        assert "repro_service_latency_seconds" in names

@@ -69,13 +69,23 @@ class TestChromeExport:
         r = traced_run()
         doc = r.trace.to_chrome_trace()
         assert "traceEvents" in doc
-        assert len(doc["traceEvents"]) > 0
-        tids = {e["tid"] for e in doc["traceEvents"]}
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) > 0
+        tids = {e["tid"] for e in spans}
         assert tids == {0, 1, 2}
-        for e in doc["traceEvents"]:
-            assert e["ph"] == "X"
+        for e in spans:
             assert e["dur"] >= 0
             assert e["ts"] >= 0
+        # Metadata names the process and every rank's thread (Perfetto
+        # labels the timelines with these).
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert thread_names == {0: "rank 0", 1: "rank 1", 2: "rank 2"}
 
     def test_export_is_json_serializable(self):
         r = traced_run()
@@ -88,7 +98,8 @@ class TestChromeExport:
             _trace_with_event(0, "compute", 0.0, 0.5),
         ])
         doc = report.to_chrome_trace(time_scale=1000.0)
-        assert doc["traceEvents"][0]["dur"] == pytest.approx(500.0)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["dur"] == pytest.approx(500.0)
 
 
 def _trace_with_event(rank, cat, start, end):
